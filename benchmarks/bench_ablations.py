@@ -1,0 +1,155 @@
+"""Ablations of Presto's design choices (DESIGN.md S5).
+
+* adaptive vs static GRO hold timeout (S3.2: a fixed 10 ms timeout
+  "hinders TCP when the gap is due to loss");
+* flowcell size sweep (64 KB is tied to max TSO; smaller cells spray
+  finer but reorder more, larger cells collide like flowlets);
+* round-robin vs random label iteration (S2.1);
+* flowcell-based loss/reorder discrimination on vs off.
+"""
+
+from benchlib import save_result
+
+from repro.experiments.common import run_elephant_workload
+from repro.experiments.harness import TestbedConfig, format_table
+from repro.metrics.stats import mean, percentile
+from repro.units import KB, msec
+from repro.workloads.synthetic import stride_pairs
+
+
+def _stride_run(cfg, mice=True):
+    return run_elephant_workload(
+        cfg,
+        stride_pairs(16, 8),
+        warm_ns=msec(15),
+        measure_ns=msec(25),
+        probe_pairs=[(0, 8)],
+        mice_pairs=[(1, 9), (5, 13)] if mice else [],
+        mice_interval_ns=msec(4),
+    )
+
+
+def test_ablation_adaptive_timeout(benchmark):
+    """Static 10 ms hold timeout vs the paper's alpha*EWMA."""
+
+    def run():
+        out = {}
+        # oversubscribed fabric => real loss at flowcell boundaries
+        base = dict(n_spines=2, n_leaves=2, hosts_per_leaf=4, seed=1)
+        adaptive = TestbedConfig(scheme="presto", **base)
+        static = TestbedConfig(
+            scheme="presto", gro_adaptive=False,
+            gro_initial_ewma_ns=msec(5), gro_alpha=2.0,  # 10 ms static
+            **base,
+        )
+        pairs = [(i, 4 + i) for i in range(4)]
+        for name, cfg in (("adaptive", adaptive), ("static10ms", static)):
+            out[name] = run_elephant_workload(
+                cfg, pairs, warm_ns=msec(15), measure_ns=msec(25),
+                mice_pairs=[(0, 4), (2, 6)], mice_interval_ns=msec(4),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, res in results.items():
+        tail = (
+            percentile(res.mice_fcts_ns, 99) / 1e6 if res.mice_fcts_ns else float("nan")
+        )
+        rows.append([name, f"{res.mean_rate_bps / 1e9:.2f}",
+                     f"{tail:.2f}", len(res.mice_fcts_ns)])
+    save_result(
+        "ablation_timeout",
+        format_table(["timeout", "eleph Gbps", "mice p99 ms", "n mice"], rows),
+    )
+    # A 10 ms static hold must not beat the adaptive timeout on the mice
+    # tail (it delays loss recovery at flowcell boundaries).
+    adaptive = results["adaptive"]
+    static = results["static10ms"]
+    if adaptive.mice_fcts_ns and static.mice_fcts_ns:
+        assert percentile(adaptive.mice_fcts_ns, 99) <= 1.2 * percentile(
+            static.mice_fcts_ns, 99
+        )
+
+
+def test_ablation_flowcell_size(benchmark):
+    """16 KB / 64 KB / 256 KB flowcells on the stride workload."""
+
+    def run():
+        out = {}
+        for size in (16 * KB, 64 * KB, 256 * KB):
+            cfg = TestbedConfig(scheme="presto", flowcell_bytes=size, seed=1)
+            out[size] = _stride_run(cfg, mice=False)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{size // 1024}KB", f"{res.mean_rate_bps / 1e9:.2f}",
+         f"{res.fairness:.3f}", f"{res.loss_rate:.4%}"]
+        for size, res in sorted(results.items())
+    ]
+    save_result(
+        "ablation_cellsize",
+        format_table(["flowcell", "eleph Gbps", "jain", "loss"], rows),
+    )
+    # 64 KB (the TSO-aligned choice) performs at least as well as the
+    # alternatives on this workload.
+    best = max(res.mean_rate_bps for res in results.values())
+    assert results[64 * KB].mean_rate_bps > 0.9 * best
+
+
+def test_ablation_rr_vs_random(benchmark):
+    """Round-robin vs randomized label selection per flowcell."""
+
+    def run():
+        out = {}
+        for mode in ("rr", "random"):
+            cfg = TestbedConfig(scheme="presto", presto_mode=mode, seed=1)
+            out[mode] = _stride_run(cfg, mice=False)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for mode, res in results.items():
+        p99 = percentile(res.rtts_ns, 99) / 1e6 if res.rtts_ns else float("nan")
+        rows.append([mode, f"{res.mean_rate_bps / 1e9:.2f}",
+                     f"{res.fairness:.3f}", f"{p99:.2f}"])
+    save_result(
+        "ablation_rr_vs_random",
+        format_table(["mode", "eleph Gbps", "jain", "rtt p99 ms"], rows),
+    )
+    # RR's deterministic evenness should not lose to randomized placement.
+    assert results["rr"].mean_rate_bps > 0.95 * results["random"].mean_rate_bps
+
+
+def test_ablation_loss_detection(benchmark):
+    """Flowcell-based loss/reorder discrimination on vs off.
+
+    With discrimination off, intra-flowcell sequence gaps (= real loss)
+    are held like reordering, delaying SACK feedback to the sender."""
+
+    def run():
+        out = {}
+        base = dict(n_spines=2, n_leaves=2, hosts_per_leaf=4, seed=1)
+        for name, flag in (("on", True), ("off", False)):
+            cfg = TestbedConfig(scheme="presto", gro_loss_detection=flag, **base)
+            pairs = [(i, 4 + i) for i in range(4)]
+            out[name] = run_elephant_workload(
+                cfg, pairs, warm_ns=msec(15), measure_ns=msec(25),
+                mice_pairs=[(0, 4)], mice_interval_ns=msec(4),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, res in results.items():
+        tail = (
+            percentile(res.mice_fcts_ns, 99) / 1e6 if res.mice_fcts_ns else float("nan")
+        )
+        rows.append([name, f"{res.mean_rate_bps / 1e9:.2f}", f"{tail:.2f}"])
+    save_result(
+        "ablation_loss_detection",
+        format_table(["loss detection", "eleph Gbps", "mice p99 ms"], rows),
+    )
+    # Turning discrimination off must not improve elephants materially.
+    assert results["on"].mean_rate_bps > 0.9 * results["off"].mean_rate_bps

@@ -1,0 +1,63 @@
+"""Figs 7-9: scalability benchmark (throughput / RTT / loss / fairness
+vs path count).
+
+Paper shape: Presto tracks Optimal (the non-blocking switch) within a
+few percent at every path count with ~zero loss and ~perfect fairness;
+ECMP loses throughput and fairness to hash collisions; MPTCP sits in
+between with the highest loss rates.
+"""
+
+from benchlib import save_result
+
+from repro.experiments.harness import format_table
+from repro.experiments.scalability import run_scalability
+from repro.metrics.stats import mean, percentile
+from repro.units import msec
+
+
+def test_fig7_8_9_scalability(benchmark):
+    grid = benchmark.pedantic(
+        run_scalability,
+        kwargs=dict(
+            path_counts=(2, 4, 8),
+            seeds=(1, 2),
+            warm_ns=msec(15),
+            measure_ns=msec(25),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for scheme, points in grid.items():
+        for p in points:
+            rtt50 = percentile(p.rtts_ns, 50) / 1e6 if p.rtts_ns else float("nan")
+            rtt99 = percentile(p.rtts_ns, 99) / 1e6 if p.rtts_ns else float("nan")
+            rows.append([
+                scheme, p.n_paths,
+                f"{p.mean_tput_bps / 1e9:.2f}",
+                f"{p.loss_rate:.4%}",
+                f"{p.fairness:.3f}",
+                f"{rtt50:.2f}", f"{rtt99:.2f}",
+            ])
+    save_result(
+        "fig07_09_scalability",
+        format_table(
+            ["scheme", "paths", "tput Gbps", "loss", "jain", "rtt p50 ms", "rtt p99 ms"],
+            rows,
+        ),
+    )
+
+    def curve(scheme):
+        return {p.n_paths: p for p in grid[scheme]}
+
+    presto, optimal, ecmp = curve("presto"), curve("optimal"), curve("ecmp")
+    for n in (2, 4, 8):
+        # Fig 7: Presto within a few percent of Optimal; ECMP clearly below.
+        assert presto[n].mean_tput_bps > 0.9 * optimal[n].mean_tput_bps
+        assert ecmp[n].mean_tput_bps < 0.95 * presto[n].mean_tput_bps
+        # Fig 9b: Presto/Optimal near-perfect fairness, ECMP worse.
+        assert presto[n].fairness > 0.97
+        assert optimal[n].fairness > 0.99
+        assert ecmp[n].fairness < presto[n].fairness
+        # Fig 9a: Presto's loss is tiny.
+        assert presto[n].loss_rate < 0.005

@@ -1,0 +1,44 @@
+"""Fig 13: Presto vs flowlet switching (stride workload).
+
+Paper shape: throughputs 9.3 (Presto) > 7.6 (flowlet 500 us) > 4.3
+(flowlet 100 us) Gbps; Presto's RTT tail is 2-3.6x lower than either
+flowlet configuration (100 us reorders heavily, 500 us collides on
+giant head flowlets).
+"""
+
+from benchlib import save_result
+
+from repro.experiments.flowlet_cmp import run_flowlet_cmp
+from repro.experiments.harness import format_table
+from repro.metrics.stats import percentile
+from repro.units import msec
+
+
+def test_fig13_flowlet_cmp(benchmark):
+    results = benchmark.pedantic(
+        run_flowlet_cmp,
+        kwargs=dict(seeds=(1, 2), warm_ns=msec(15), measure_ns=msec(25)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for scheme, res in results.items():
+        p50 = percentile(res.rtts_ns, 50) / 1e6 if res.rtts_ns else float("nan")
+        p999 = percentile(res.rtts_ns, 99.9) / 1e6 if res.rtts_ns else float("nan")
+        rows.append([
+            scheme,
+            f"{res.mean_tput_bps / 1e9:.2f}",
+            f"{p50:.2f}",
+            f"{p999:.2f}",
+        ])
+    save_result(
+        "fig13_flowlet_cmp",
+        format_table(["scheme", "tput Gbps", "rtt p50 ms", "rtt p99.9 ms"], rows),
+    )
+    presto = results["presto"]
+    f100 = results["flowlet100us"]
+    f500 = results["flowlet500us"]
+    # Fig 13 ordering: presto > flowlet500 > flowlet100 on throughput.
+    assert presto.mean_tput_bps > f500.mean_tput_bps > f100.mean_tput_bps
+    # The 100us timer costs dearly (paper: 4.3 vs 9.3 Gbps).
+    assert f100.mean_tput_bps < 0.75 * presto.mean_tput_bps

@@ -1,0 +1,15 @@
+"""Benchmark harness conventions.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it runs the (scaled-down) experiment once under ``benchmark.pedantic``,
+prints the same rows/series the paper reports, and writes them to
+``benchmarks/results/<name>.txt``.  Absolute numbers are simulator-scale
+(see EXPERIMENTS.md); assertions check the paper's *shape* — who wins,
+by roughly what factor.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))

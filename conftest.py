@@ -1,0 +1,7 @@
+"""Ensure `repro` is importable from a source checkout even when the
+editable install step was skipped (offline environments)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

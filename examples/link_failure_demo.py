@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Failure handling walkthrough (paper S3.3 / Figs 17-18).
+
+Kills the S1-L1 link and shows Presto's three recovery postures on an
+L1 -> L4 workload:
+
+  symmetry   the link is up: flowcells round-robin over 4 spanning trees
+  failover   the link is down; OpenFlow-style fast-failover buckets
+             redirect tree-1 flowcells through backup ports (imbalanced)
+  weighted   the controller prunes/reweights the label schedules at the
+             vSwitches (WCMP-style duplicated labels), restoring balance
+
+Run:  python examples/link_failure_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Testbed, TestbedConfig
+from repro.metrics.collectors import ThroughputMeter
+from repro.units import msec, usec
+
+
+def run_stage(stage: str) -> float:
+    cfg = TestbedConfig(scheme="presto", seed=11)
+    tb = Testbed(cfg)
+
+    failed = next(l for l in tb.topo.links if l.name == "L1--S1")
+    if stage == "failover":
+        tb.controller.enable_fast_failover(cfg.failover_latency_ns)
+    if stage != "symmetry":
+        failed.set_down()
+    if stage == "weighted":
+        tb.controller.on_link_failure(failed)  # reweight + push schedules
+
+    rng = tb.streams.stream("starts")
+    meter = ThroughputMeter()
+    for i in range(4):  # L1 hosts 0-3 -> L4 hosts 12-15
+        app = tb.add_elephant(i, 12 + i, start_ns=rng.randrange(usec(500)))
+        meter.track(app.flow_id, tb.hosts[12 + i])
+
+    tb.run(msec(15))
+    meter.mark_start(tb.sim.now)
+    tb.run(msec(40))
+    meter.mark_end(tb.sim.now)
+    return meter.mean_rate_bps() / 1e9
+
+
+def main() -> None:
+    print(__doc__)
+    print("L1->L4 elephants, S1-L1 link failure:\n")
+    for stage in ("symmetry", "failover", "weighted"):
+        print(f"  {stage:9s}: {run_stage(stage):5.2f} Gbps per flow")
+    print("\nsymmetry ~ line rate; failover survives but is imbalanced;")
+    print("weighted recovers most of the loss with 3 of 4 trees.")
+
+
+if __name__ == "__main__":
+    main()

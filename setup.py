@@ -1,0 +1,16 @@
+"""Legacy setup shim: the target environment is offline and lacks the
+`wheel` package, so editable installs must go through setup.py."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Presto (SIGCOMM 2015) reproduction: edge-based load balancing "
+        "for fast datacenter networks, on a packet-level discrete-event simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,141 @@
+"""Shared measurement scaffolding for the paper experiments.
+
+Every experiment follows the same skeleton: build a testbed per scheme,
+start elephants (and optionally mice / RTT probes), warm up so windows
+converge, measure over a window, and report.  ``ElephantRun`` bundles
+that skeleton; experiment modules parameterize it.
+
+Scale note: the paper runs 10 s x 20 trials at 10 Gbps.  Packet-level
+simulation in Python makes that ~10^10 events, so defaults here use
+the same rates but tens-of-ms windows and a handful of seeds; every
+knob is exposed for longer runs (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.metrics.collectors import LossAccountant, ThroughputMeter
+from repro.metrics.stats import jain_fairness, mean, percentile
+from repro.units import KB, msec, usec
+
+DEFAULT_WARM_NS = msec(15)
+DEFAULT_MEASURE_NS = msec(30)
+START_JITTER_NS = usec(500)
+
+
+@dataclass
+class RunResult:
+    """Everything one (scheme, seed) elephant run produced."""
+
+    scheme: str
+    seed: int
+    flow_rates_bps: Dict[int, float]
+    per_pair_rates_bps: List[float]
+    loss_rate: float
+    rtts_ns: List[int] = field(default_factory=list)
+    mice_fcts_ns: List[int] = field(default_factory=list)
+
+    @property
+    def mean_rate_bps(self) -> float:
+        return mean(self.per_pair_rates_bps)
+
+    @property
+    def fairness(self) -> float:
+        return jain_fairness(self.per_pair_rates_bps)
+
+
+def run_elephant_workload(
+    cfg: TestbedConfig,
+    pairs: Sequence[Tuple[int, int]],
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    probe_pairs: Sequence[Tuple[int, int]] = (),
+    probe_interval_ns: int = msec(1),
+    mice_pairs: Sequence[Tuple[int, int]] = (),
+    mice_size: int = 50 * KB,
+    mice_interval_ns: int = msec(5),
+) -> RunResult:
+    """One trial: elephants on ``pairs`` (+ optional probes and mice),
+    throughput measured over [warm, warm+measure]."""
+    tb = Testbed(cfg)
+    rng = tb.streams.stream("starts")
+    apps = []
+    meter = ThroughputMeter()
+    for src, dst in pairs:
+        app = tb.add_elephant(src, dst, start_ns=rng.randrange(START_JITTER_NS))
+        apps.append((app, dst))
+        flows = app.subflow_ids if tb.is_mptcp else [app.flow_id]
+        for flow in flows:
+            meter.track(flow, tb.hosts[dst])
+    probes = [
+        tb.add_probe(src, dst, interval_ns=probe_interval_ns, start_ns=warm_ns // 2)
+        for src, dst in probe_pairs
+    ]
+    mice = [
+        tb.add_mice(src, dst, size_bytes=mice_size, interval_ns=mice_interval_ns,
+                    start_ns=warm_ns // 2)
+        for src, dst in mice_pairs
+    ]
+    loss = LossAccountant(tb.topo, tb.hosts)
+    tb.run(warm_ns)
+    meter.mark_start(tb.sim.now)
+    loss.mark_start()
+    tb.run(warm_ns + measure_ns)
+    meter.mark_end(tb.sim.now)
+
+    rates = meter.flow_rates_bps()
+    per_pair = []
+    for app, dst in apps:
+        if tb.is_mptcp:
+            per_pair.append(sum(rates[f] for f in app.subflow_ids))
+        else:
+            per_pair.append(rates[app.flow_id])
+    return RunResult(
+        scheme=cfg.scheme,
+        seed=cfg.seed,
+        flow_rates_bps=rates,
+        per_pair_rates_bps=per_pair,
+        loss_rate=loss.loss_rate(),
+        rtts_ns=[r for p in probes for r in p.rtts_ns],
+        mice_fcts_ns=[f for m in mice for f in m.fcts_ns],
+    )
+
+
+def averaged_over_seeds(
+    cfg: TestbedConfig,
+    pairs_fn,
+    seeds: Sequence[int],
+    **kwargs,
+) -> List[RunResult]:
+    """Run the same workload under several seeds.  ``pairs_fn(cfg, seed)``
+    may vary pairs per seed (random workloads)."""
+    results = []
+    for seed in seeds:
+        seeded = replace(cfg, seed=seed)
+        results.append(run_elephant_workload(seeded, pairs_fn(seeded, seed), **kwargs))
+    return results
+
+
+def fct_percentiles(fcts_ns: Sequence[int]) -> Dict[str, float]:
+    """The paper's FCT report: p50/p90/p99/p99.9 in milliseconds."""
+    if not fcts_ns:
+        return {}
+    return {
+        "p50": percentile(fcts_ns, 50) / 1e6,
+        "p90": percentile(fcts_ns, 90) / 1e6,
+        "p99": percentile(fcts_ns, 99) / 1e6,
+        "p99.9": percentile(fcts_ns, 99.9) / 1e6,
+    }
+
+
+def normalize_to(baseline: Dict[str, float], other: Dict[str, float]) -> Dict[str, float]:
+    """Relative change versus a baseline, as the paper's Tables 1/2
+    (-0.56 means 56% shorter FCT than the baseline)."""
+    out = {}
+    for key, base in baseline.items():
+        if key in other and base > 0:
+            out[key] = (other[key] - base) / base
+    return out

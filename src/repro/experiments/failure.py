@@ -1,0 +1,133 @@
+"""Figs 17-18: link failure handling.
+
+The S1-L1 link dies.  Three stages, each its own run (as the paper
+defines them):
+
+* **symmetry** — link up, plain Presto;
+* **failover** — link down, leaf-side hardware fast failover redirects
+  tree-1-labelled flowcells through the next spine; the controller has
+  not reacted yet, so load is imbalanced (and traffic *toward* L1 that
+  reaches S1 is blackholed until senders' round robin rotates past it);
+* **weighted** — the controller learns of the failure, prunes/reweights
+  the tree schedules at every vSwitch, and balance returns.
+
+Workloads: L1->L4 (each L1 host sends to an L4 host), L4->L1, stride(8)
+and random bijection; Fig 18 is the RTT distribution under bijection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_MEASURE_NS,
+    DEFAULT_WARM_NS,
+    START_JITTER_NS,
+)
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.metrics.collectors import ThroughputMeter
+from repro.metrics.stats import mean
+from repro.sim.rand import RandomStreams
+from repro.workloads.synthetic import random_bijection_pairs, stride_pairs
+
+STAGES = ("symmetry", "failover", "weighted")
+FAILURE_WORKLOADS = ("L1->L4", "L4->L1", "stride", "bijection")
+
+
+@dataclass
+class FailureResult:
+    stage: str
+    workload: str
+    mean_tput_bps: float
+    rtts_ns: List[int] = field(default_factory=list)
+
+
+def _workload_pairs(workload: str, seed: int) -> List[Tuple[int, int]]:
+    if workload == "L1->L4":
+        return [(i, 12 + i) for i in range(4)]
+    if workload == "L4->L1":
+        return [(12 + i, i) for i in range(4)]
+    if workload == "stride":
+        return stride_pairs(16, 8)
+    if workload == "bijection":
+        rng = RandomStreams(seed).stream("failure-bijection")
+        return random_bijection_pairs(16, 4, rng)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_failure_stage(
+    stage: str,
+    workload: str,
+    seeds: Sequence[int] = (1, 2),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = False,
+) -> FailureResult:
+    """One bar of Fig 17 (or, with probes, one curve of Fig 18)."""
+    if stage not in STAGES:
+        raise ValueError(f"unknown stage {stage!r}")
+    rates: List[float] = []
+    rtts: List[int] = []
+    for seed in seeds:
+        cfg = TestbedConfig(scheme="presto", seed=seed)
+        tb = Testbed(cfg)
+        failed_link = None
+        if stage != "symmetry":
+            for link in tb.topo.links:
+                if link.name == "L1--S1":
+                    failed_link = link
+                    break
+            assert failed_link is not None, "S1-L1 link not found"
+        if stage == "failover":
+            tb.controller.enable_fast_failover(cfg.failover_latency_ns)
+        if failed_link is not None:
+            failed_link.set_down()
+        if stage == "weighted":
+            tb.controller.on_link_failure(failed_link)
+        pairs = _workload_pairs(workload, seed)
+        rng = tb.streams.stream("starts")
+        meter = ThroughputMeter()
+        apps = []
+        for src, dst in pairs:
+            app = tb.add_elephant(src, dst, start_ns=rng.randrange(START_JITTER_NS))
+            apps.append((app, dst))
+            meter.track(app.flow_id, tb.hosts[dst])
+        probes = []
+        if with_probes:
+            probes = [tb.add_probe(pairs[0][0], pairs[0][1], start_ns=warm_ns // 2),
+                      tb.add_probe(pairs[2][0], pairs[2][1], start_ns=warm_ns // 2)]
+        tb.run(warm_ns)
+        meter.mark_start(tb.sim.now)
+        tb.run(warm_ns + measure_ns)
+        meter.mark_end(tb.sim.now)
+        flow_rates = meter.flow_rates_bps()
+        rates.extend(flow_rates[app.flow_id] for app, _ in apps)
+        rtts.extend(r for p in probes for r in p.rtts_ns)
+    return FailureResult(stage, workload, mean(rates), rtts)
+
+
+def run_figure17(
+    workloads: Sequence[str] = FAILURE_WORKLOADS,
+    seeds: Sequence[int] = (1, 2),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[Tuple[str, str], FailureResult]:
+    return {
+        (stage, workload): run_failure_stage(stage, workload, seeds, warm_ns, measure_ns)
+        for workload in workloads
+        for stage in STAGES
+    }
+
+
+def run_figure18(
+    seeds: Sequence[int] = (1, 2),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[str, FailureResult]:
+    """RTT distributions per stage under random bijection."""
+    return {
+        stage: run_failure_stage(stage, "bijection", seeds, warm_ns, measure_ns,
+                                 with_probes=True)
+        for stage in STAGES
+    }

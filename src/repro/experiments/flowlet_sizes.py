@@ -1,0 +1,87 @@
+"""Fig 1: flowlet-size analysis.
+
+A 1 GB-class transfer shares a single switch with 0-8 competing flows
+to the same receiver; the sender's outgoing segment stream is sliced
+into flowlets by an inactivity timer (500 us by default, 100 us as the
+paper's secondary analysis) and the top-10 flowlet sizes per competing
+count reproduce the stacked histogram: with few competitors most of the
+transfer is ONE giant flowlet, so flowlet switching degenerates to
+per-flow placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.units import MB, msec, usec
+
+
+@dataclass
+class FlowletSizeResult:
+    competing_flows: int
+    transfer_bytes: int
+    flowlet_sizes: List[int]  # descending
+
+    def top(self, n: int = 10) -> List[int]:
+        return self.flowlet_sizes[:n]
+
+    def head_fraction(self) -> float:
+        """Fraction of the transfer carried by the single largest flowlet."""
+        if not self.flowlet_sizes:
+            return 0.0
+        return self.flowlet_sizes[0] / max(1, sum(self.flowlet_sizes))
+
+
+def slice_flowlets(events: List[Tuple[int, int]], gap_ns: int) -> List[int]:
+    """Split a (time, bytes) emission stream into flowlet byte counts."""
+    sizes: List[int] = []
+    last_t = None
+    for t, nbytes in events:
+        if last_t is None or t - last_t > gap_ns:
+            sizes.append(nbytes)
+        else:
+            sizes[-1] += nbytes
+        last_t = t
+    return sizes
+
+
+def run_flowlet_sizes(
+    competing: int,
+    transfer_bytes: int = 64 * MB,
+    gap_ns: int = usec(500),
+    duration_ns: int = msec(120),
+    seed: int = 0,
+) -> FlowletSizeResult:
+    """One bar of Fig 1 (paper: 1 GB scp; scaled default 64 MB)."""
+    cfg = TestbedConfig(scheme="optimal", n_leaves=1, hosts_per_leaf=competing + 2,
+                        seed=seed)
+    tb = Testbed(cfg)
+    events: List[Tuple[int, int]] = []
+
+    def tap(seg):
+        if seg.kind == "data" and seg.flow_id == main_flow:
+            events.append((tb.sim.now, seg.payload_len))
+
+    main = tb.add_elephant(0, 1, size_bytes=transfer_bytes)
+    main_flow = main.flow_id
+    tb.hosts[0].tx_tap = tap
+    for i in range(competing):
+        tb.add_elephant(2 + i, 1)  # unbounded competitors to the receiver
+    tb.run(duration_ns)
+    sizes = sorted(slice_flowlets(events, gap_ns), reverse=True)
+    return FlowletSizeResult(competing, transfer_bytes, sizes)
+
+
+def run_figure1(
+    max_competing: int = 8,
+    transfer_bytes: int = 64 * MB,
+    gap_ns: int = usec(500),
+    duration_ns: int = msec(120),
+) -> Dict[int, FlowletSizeResult]:
+    """The full Fig 1 sweep: 0..max_competing background flows."""
+    return {
+        n: run_flowlet_sizes(n, transfer_bytes, gap_ns, duration_ns)
+        for n in range(max_competing + 1)
+    }

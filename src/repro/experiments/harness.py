@@ -1,0 +1,379 @@
+"""Experiment harness: wire a scheme + topology + hosts into a runnable
+testbed and provide the measurement scaffolding every paper experiment
+shares.
+
+A *scheme* bundles what the paper varies between compared systems: the
+edge load balancer, the receiver GRO, how transfers are opened (plain
+TCP vs MPTCP) and, for "Optimal", the topology override (a single
+non-blocking switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.host.app import BulkApp, FlowIdAllocator, MiceApp, RttProbeApp
+from repro.host.cpu import CpuCosts
+from repro.host.gro import OfficialGro, PrestoGro
+from repro.host.host import Host
+from repro.host.tcp import TcpConfig
+from repro.lb.base import LoadBalancer
+from repro.lb.ecmp import EcmpLb
+from repro.lb.flowlet import FlowletLb
+from repro.lb.perpacket import PerPacketLb
+from repro.lb.presto_ecmp import PrestoEcmpLb
+from repro.mptcp.mptcp import MptcpConnection
+from repro.net.switch import HASH_FLOW, HASH_FLOWCELL
+from repro.net.topology import (
+    Topology,
+    build_clos,
+    build_single_switch,
+)
+from repro.presto.controller import PrestoController
+from repro.presto.vswitch import PrestoLb
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+from repro.units import KB, MB, gbps, msec, usec
+
+#: Schemes comparable across the paper's experiments.
+SCHEMES = (
+    "ecmp",
+    "presto",
+    "mptcp",
+    "optimal",
+    "flowlet100us",
+    "flowlet500us",
+    "perpacket",
+    "presto_ecmp",
+)
+
+
+@dataclass
+class TestbedConfig:
+    """Everything that defines one run."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    scheme: str = "presto"
+    n_spines: int = 4
+    n_leaves: int = 4
+    hosts_per_leaf: int = 4
+    link_rate_bps: float = gbps(10)
+    prop_delay_ns: int = usec(1)
+    #: per-port hard cap; None = bounded only by the shared pool
+    switch_buffer_bytes: Optional[int] = None
+    #: per-switch shared packet memory (G8264-class) + DT alpha
+    switch_pool_bytes: int = 4 * MB
+    pool_alpha: float = 2.0
+    host_buffer_bytes: int = 4 * MB
+    seed: int = 0
+    model_cpu: bool = True
+    #: Experiment-scale TCP: the paper runs 10 s per trial so Linux's
+    #: 200 ms min-RTO is 2% of a run; our packet-level runs are tens of
+    #: ms, so the RTO floor is scaled to 20 ms to keep the RTO/run ratio
+    #: in the same regime (see EXPERIMENTS.md "time scaling").  The
+    #: receive window is 640 KB — big enough to fill 10 Gbps through the
+    #: Clos's queueing RTT, small enough that a handful of flows'
+    #: slow-start overshoot stays inside one switch's 4 MB shared pool
+    #: (at full scale Linux autotuning and 10 s of averaging play that
+    #: role).  Tests and users can pass a faithful TcpConfig() instead.
+    tcp: TcpConfig = field(
+        default_factory=lambda: TcpConfig(
+            min_rto_ns=msec(20), initial_rto_ns=msec(20), max_rto_ns=msec(200),
+            rcv_wnd=640 * KB,
+        )
+    )
+    cpu_costs: Optional[CpuCosts] = None
+    #: override the scheme's default receiver GRO: "official" | "presto"
+    gro_override: Optional[str] = None
+    #: MPTCP subflow count (paper configuration: 8)
+    mptcp_subflows: int = 8
+    #: failover detection latency when fast failover is enabled
+    failover_latency_ns: int = msec(2)
+    # --- ablation knobs (DESIGN.md S5) ---------------------------------
+    #: flowcell granularity (paper: 64 KB = max TSO)
+    flowcell_bytes: int = 64 * KB
+    #: Presto label iteration: "rr" (paper) or "random"
+    presto_mode: str = "rr"
+    #: Presto GRO hold-timeout adaptivity and loss/reorder discrimination
+    gro_adaptive: bool = True
+    gro_loss_detection: bool = True
+    gro_initial_ewma_ns: Optional[int] = None
+    gro_alpha: Optional[float] = None
+
+    def with_scheme(self, scheme: str) -> "TestbedConfig":
+        return replace(self, scheme=scheme)
+
+
+class Testbed:
+    """A built, runnable instance of one configuration."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, cfg: TestbedConfig):
+        if cfg.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {cfg.scheme!r}; pick from {SCHEMES}")
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.streams = RandomStreams(cfg.seed)
+        self.flow_ids = FlowIdAllocator()
+        self.topo = self._build_topology()
+        self.hosts: List[Host] = []
+        self._build_hosts()
+        self.controller = PrestoController(self.topo)
+        for host in self.hosts:
+            self.controller.register_vswitch(host.lb)
+        leaf_mode = HASH_FLOWCELL if cfg.scheme == "presto_ecmp" else HASH_FLOW
+        self.topo.install_underlay(leaf_hash_mode=leaf_mode)
+        self.apps: List[object] = []
+
+    # --- construction -----------------------------------------------------------
+
+    def _build_topology(self) -> Topology:
+        cfg = self.cfg
+        if cfg.scheme == "optimal":
+            topo = build_single_switch(self.sim)
+            topo.pool_bytes = cfg.switch_pool_bytes
+            topo.pool_alpha = cfg.pool_alpha
+            # rebuild the lone switch's pool with the configured size
+            sw = topo.leaves[0]
+            sw.shared_buffer.total_bytes = cfg.switch_pool_bytes
+            sw.shared_buffer.alpha = cfg.pool_alpha
+            return topo
+        return build_clos(
+            self.sim,
+            n_spines=cfg.n_spines,
+            n_leaves=cfg.n_leaves,
+            rate_bps=cfg.link_rate_bps,
+            prop_delay_ns=cfg.prop_delay_ns,
+            buffer_bytes=cfg.switch_buffer_bytes,
+            pool_bytes=cfg.switch_pool_bytes,
+            pool_alpha=cfg.pool_alpha,
+        )
+
+    def _n_hosts(self) -> int:
+        return self.cfg.n_leaves * self.cfg.hosts_per_leaf
+
+    def _make_lb(self, host_id: int) -> LoadBalancer:
+        cfg = self.cfg
+        rng = self.streams.stream(f"lb{host_id}")
+        if cfg.scheme == "presto":
+            return PrestoLb(host_id, rng, threshold=cfg.flowcell_bytes,
+                            mode=cfg.presto_mode)
+        if cfg.scheme == "presto_ecmp":
+            return PrestoEcmpLb(host_id, rng, threshold=cfg.flowcell_bytes)
+        if cfg.scheme in ("ecmp", "mptcp"):
+            return EcmpLb(host_id, rng)
+        if cfg.scheme == "flowlet100us":
+            return FlowletLb(host_id, self.sim, gap_ns=usec(100), rng=rng)
+        if cfg.scheme == "flowlet500us":
+            return FlowletLb(host_id, self.sim, gap_ns=usec(500), rng=rng)
+        if cfg.scheme == "perpacket":
+            return PerPacketLb(host_id, rng)
+        return LoadBalancer(host_id, rng)  # optimal: single direct path
+
+    def _make_gro(self):
+        cfg = self.cfg
+        kind = cfg.gro_override
+        if kind is None:
+            kind = "presto" if cfg.scheme in ("presto", "presto_ecmp") else "official"
+        if kind == "presto":
+            kwargs = dict(
+                adaptive=cfg.gro_adaptive,
+                loss_detection=cfg.gro_loss_detection,
+            )
+            if cfg.gro_initial_ewma_ns is not None:
+                kwargs["initial_ewma_ns"] = cfg.gro_initial_ewma_ns
+            if cfg.gro_alpha is not None:
+                kwargs["alpha"] = cfg.gro_alpha
+            return PrestoGro(**kwargs)
+        if kind == "official":
+            return OfficialGro()
+        raise ValueError(f"unknown gro kind {kind!r}")
+
+    def _build_hosts(self) -> None:
+        cfg = self.cfg
+        for host_id in range(self._n_hosts()):
+            host = Host(
+                self.sim,
+                host_id,
+                lb=self._make_lb(host_id),
+                gro=self._make_gro(),
+                cpu_costs=cfg.cpu_costs,
+                tcp_cfg=cfg.tcp,
+                model_cpu=cfg.model_cpu,
+            )
+            if cfg.scheme == "optimal":
+                leaf = self.topo.leaves[0]
+            else:
+                leaf = self.topo.leaves[host_id // cfg.hosts_per_leaf]
+            self.topo.attach_host(
+                host,
+                leaf,
+                rate_bps=cfg.link_rate_bps,
+                prop_delay_ns=cfg.prop_delay_ns,
+                buffer_bytes=cfg.switch_buffer_bytes,
+                host_buffer_bytes=cfg.host_buffer_bytes,
+            )
+            self.hosts.append(host)
+
+    # --- convenience -----------------------------------------------------------
+
+    def host(self, i: int) -> Host:
+        return self.hosts[i]
+
+    def pod_of(self, host_id: int) -> int:
+        """Leaf (pod) index of a host; on the single switch all share 0."""
+        if self.cfg.scheme == "optimal":
+            return host_id // self.cfg.hosts_per_leaf
+        return host_id // self.cfg.hosts_per_leaf
+
+    @property
+    def is_mptcp(self) -> bool:
+        return self.cfg.scheme == "mptcp"
+
+    # --- traffic ----------------------------------------------------------------
+
+    def add_elephant(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: Optional[int] = None,
+        start_ns: int = 0,
+        on_complete=None,
+    ):
+        """An elephant transfer using the scheme's transport (TCP/MPTCP).
+
+        Returns an object with ``delivered_bytes()`` and ``fct_ns``.
+        """
+        if self.is_mptcp:
+            app = MptcpConnection(
+                self.sim,
+                self.hosts[src],
+                self.hosts[dst],
+                self.flow_ids,
+                n_subflows=self.cfg.mptcp_subflows,
+                size_bytes=size_bytes,
+                start_ns=start_ns,
+                on_complete=on_complete,
+            )
+        else:
+            app = BulkApp(
+                self.sim,
+                self.hosts[src],
+                self.hosts[dst],
+                self.flow_ids.next(),
+                size_bytes=size_bytes,
+                start_ns=start_ns,
+                on_complete=on_complete,
+            )
+        self.apps.append(app)
+        return app
+
+    def add_mice(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: int = 50 * KB,
+        interval_ns: int = msec(100),
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+    ):
+        """Periodic mice flows; returns an object exposing ``fcts_ns``."""
+        if self.is_mptcp:
+            app = MptcpMiceApp(
+                self,
+                src,
+                dst,
+                size_bytes=size_bytes,
+                interval_ns=interval_ns,
+                start_ns=start_ns,
+                stop_ns=stop_ns,
+            )
+        else:
+            app = MiceApp(
+                self.sim,
+                self.hosts[src],
+                self.hosts[dst],
+                self.flow_ids,
+                size_bytes=size_bytes,
+                interval_ns=interval_ns,
+                start_ns=start_ns,
+                stop_ns=stop_ns,
+            )
+        self.apps.append(app)
+        return app
+
+    def add_probe(self, src: int, dst: int, interval_ns: int = msec(1),
+                  start_ns: int = 0, stop_ns: Optional[int] = None) -> RttProbeApp:
+        app = RttProbeApp(
+            self.sim,
+            self.hosts[src],
+            self.hosts[dst],
+            self.flow_ids,
+            interval_ns=interval_ns,
+            start_ns=start_ns,
+            stop_ns=stop_ns,
+        )
+        self.apps.append(app)
+        return app
+
+    def run(self, until_ns: int) -> None:
+        self.sim.run(until=until_ns)
+
+    # --- measurement ----------------------------------------------------------
+
+    def elephant_delivered(self, app) -> int:
+        return app.delivered_bytes()
+
+
+class MptcpMiceApp:
+    """Mice over MPTCP: a fresh MPTCP connection per request.
+
+    The paper's Table 2 shows these timing out — small per-subflow
+    windows cannot trigger fast retransmit, so losses cost an RTO.
+    """
+
+    def __init__(self, tb: Testbed, src: int, dst: int, size_bytes: int,
+                 interval_ns: int, start_ns: int = 0, stop_ns: Optional[int] = None):
+        self.tb = tb
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.interval_ns = interval_ns
+        self.stop_ns = stop_ns
+        self.fcts_ns: List[int] = []
+        self.sent = 0
+        tb.sim.schedule(start_ns, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_ns is not None and self.tb.sim.now >= self.stop_ns:
+            return
+        MptcpConnection(
+            self.tb.sim,
+            self.tb.hosts[self.src],
+            self.tb.hosts[self.dst],
+            self.tb.flow_ids,
+            n_subflows=self.tb.cfg.mptcp_subflows,
+            size_bytes=self.size_bytes,
+            on_complete=self._done,
+        )
+        self.sent += 1
+        self.tb.sim.schedule(self.interval_ns, self._tick)
+
+    def _done(self, conn: MptcpConnection) -> None:
+        if conn.fct_ns is not None:
+            self.fcts_ns.append(conn.fct_ns)
+
+
+def format_table(headers: List[str], rows: List[List[object]]) -> str:
+    """Plain-text table for experiment output, GitHub-markdown style."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)

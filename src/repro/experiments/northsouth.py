@@ -1,0 +1,115 @@
+"""Table 2: east-west traffic coexisting with north-south cross
+traffic.
+
+A stride(8) elephant workload plus periodic mice runs while every
+server also sends ECMP-balanced flows to WAN-limited (100 Mbps) remote
+users hanging off the spines.  Reported: east-west mice FCT percentiles
+(normalized to ECMP) and mean elephant throughput.  Paper: Presto cuts
+tail FCT ~86-87%, MPTCP hits RTO timeouts at the tail, and throughputs
+are 5.7 / 7.4 / 8.2 / 8.9 Gbps for ECMP / MPTCP / Presto / Optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_MEASURE_NS,
+    DEFAULT_WARM_NS,
+    fct_percentiles,
+    normalize_to,
+)
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.metrics.collectors import ThroughputMeter
+from repro.metrics.stats import mean
+from repro.units import KB, msec, usec
+from repro.workloads.northsouth import NorthSouthWorkload
+from repro.workloads.synthetic import stride_pairs
+
+DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
+
+
+@dataclass
+class NorthSouthResult:
+    scheme: str
+    mean_elephant_tput_bps: float
+    mice_fcts_ns: List[int] = field(default_factory=list)
+    mice_timeout_fraction: float = 0.0
+
+    def mice_percentiles_ms(self) -> Dict[str, float]:
+        return fct_percentiles(self.mice_fcts_ns)
+
+
+def run_northsouth(
+    scheme: str,
+    seeds: Sequence[int] = (1, 2),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    ns_interval_ns: int = msec(1),
+    mice_interval_ns: int = msec(5),
+) -> NorthSouthResult:
+    rates: List[float] = []
+    fcts: List[int] = []
+    timeout_like = 0
+    for seed in seeds:
+        cfg = TestbedConfig(scheme=scheme, seed=seed)
+        tb = Testbed(cfg)
+        ns = None
+        if scheme != "optimal":
+            # north-south users hang off spines; the single switch has none
+            ns = NorthSouthWorkload(tb, tb.streams.stream("northsouth"),
+                                    interval_ns=ns_interval_ns)
+            ns.start()
+        meter = ThroughputMeter()
+        apps = []
+        rng = tb.streams.stream("starts")
+        for src, dst in stride_pairs(16, 8):
+            app = tb.add_elephant(src, dst, start_ns=rng.randrange(usec(500)))
+            apps.append((app, dst))
+            flows = app.subflow_ids if tb.is_mptcp else [app.flow_id]
+            for f in flows:
+                meter.track(f, tb.hosts[dst])
+        mice_apps = [
+            tb.add_mice(src, dst, size_bytes=50 * KB,
+                        interval_ns=mice_interval_ns, start_ns=warm_ns // 2)
+            for src, dst in stride_pairs(16, 8)[::4]
+        ]
+        tb.run(warm_ns)
+        meter.mark_start(tb.sim.now)
+        tb.run(warm_ns + measure_ns)
+        meter.mark_end(tb.sim.now)
+        flow_rates = meter.flow_rates_bps()
+        for app, dst in apps:
+            if tb.is_mptcp:
+                rates.append(sum(flow_rates[f] for f in app.subflow_ids))
+            else:
+                rates.append(flow_rates[app.flow_id])
+        run_fcts = [f for m in mice_apps for f in m.fcts_ns]
+        fcts.extend(run_fcts)
+        # "TIMEOUT" detection: FCTs that ate at least one RTO floor
+        timeout_like += sum(1 for f in run_fcts if f >= cfg.tcp.min_rto_ns)
+    return NorthSouthResult(
+        scheme=scheme,
+        mean_elephant_tput_bps=mean(rates),
+        mice_fcts_ns=fcts,
+        mice_timeout_fraction=timeout_like / max(1, len(fcts)),
+    )
+
+
+def run_table2(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    seeds: Sequence[int] = (1, 2),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[str, NorthSouthResult]:
+    return {s: run_northsouth(s, seeds, warm_ns, measure_ns) for s in schemes}
+
+
+def table2_normalized(results: Dict[str, NorthSouthResult]) -> Dict[str, Dict[str, float]]:
+    base = results["ecmp"].mice_percentiles_ms()
+    return {
+        scheme: normalize_to(base, res.mice_percentiles_ms())
+        for scheme, res in results.items()
+        if scheme != "ecmp"
+    }

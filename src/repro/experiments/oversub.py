@@ -1,0 +1,86 @@
+"""Figs 10-12: the oversubscription benchmark (Fig 4b topology).
+
+Two spines, two leaves; the host-pair count sweeps 2..8 so the
+leaf-to-spine fabric is 1x to 4x oversubscribed.  Reported per scheme:
+mean elephant throughput (Fig 10), RTT samples (Fig 11), loss rate
+(Fig 12a), fairness (Fig 12b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_MEASURE_NS,
+    DEFAULT_WARM_NS,
+    RunResult,
+    run_elephant_workload,
+)
+from repro.experiments.harness import TestbedConfig
+from repro.metrics.stats import jain_fairness, mean
+
+DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
+
+
+@dataclass
+class OversubPoint:
+    scheme: str
+    n_pairs: int
+    mean_tput_bps: float
+    loss_rate: float
+    fairness: float
+    rtts_ns: List[int] = field(default_factory=list)
+
+    @property
+    def oversubscription(self) -> float:
+        """Host pairs over spine paths (2): 1.0x at 2 pairs, 4.0x at 8."""
+        return self.n_pairs / 2.0
+
+
+def run_oversub_point(
+    scheme: str,
+    n_pairs: int,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = True,
+) -> OversubPoint:
+    pairs = [(i, n_pairs + i) for i in range(n_pairs)]
+    probe_pairs = [(0, n_pairs)] if with_probes else []
+    runs: List[RunResult] = []
+    for seed in seeds:
+        cfg = TestbedConfig(
+            scheme=scheme, n_spines=2, n_leaves=2, hosts_per_leaf=n_pairs,
+            seed=seed,
+        )
+        runs.append(
+            run_elephant_workload(
+                cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
+            )
+        )
+    per_flow = [r for run in runs for r in run.per_pair_rates_bps]
+    return OversubPoint(
+        scheme=scheme,
+        n_pairs=n_pairs,
+        mean_tput_bps=mean(per_flow),
+        loss_rate=mean([run.loss_rate for run in runs]),
+        fairness=jain_fairness(per_flow),
+        rtts_ns=[r for run in runs for r in run.rtts_ns],
+    )
+
+
+def run_oversub(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    pair_counts: Sequence[int] = (2, 4, 6, 8),
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[str, List[OversubPoint]]:
+    return {
+        scheme: [
+            run_oversub_point(scheme, n, seeds, warm_ns, measure_ns)
+            for n in pair_counts
+        ]
+        for scheme in schemes
+    }

@@ -1,0 +1,82 @@
+"""Figs 7-9: the scalability benchmark (Fig 4a topology).
+
+Path count (= spine count) sweeps 2..8 with one L1->L2 host pair per
+path.  Per scheme we report mean elephant throughput (Fig 7), RTT
+samples (Fig 8), loss rate (Fig 9a) and Jain fairness (Fig 9b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_MEASURE_NS,
+    DEFAULT_WARM_NS,
+    RunResult,
+    run_elephant_workload,
+)
+from repro.experiments.harness import TestbedConfig
+from repro.metrics.stats import jain_fairness, mean
+
+DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
+
+
+@dataclass
+class ScalabilityPoint:
+    scheme: str
+    n_paths: int
+    mean_tput_bps: float
+    loss_rate: float
+    fairness: float
+    rtts_ns: List[int] = field(default_factory=list)
+
+
+def run_scalability_point(
+    scheme: str,
+    n_paths: int,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = True,
+) -> ScalabilityPoint:
+    """One (scheme, path count) cell of Figs 7-9, averaged over seeds."""
+    pairs = [(i, n_paths + i) for i in range(n_paths)]
+    probe_pairs = [(0, n_paths)] if with_probes else []
+    runs: List[RunResult] = []
+    for seed in seeds:
+        cfg = TestbedConfig(
+            scheme=scheme, n_spines=n_paths, n_leaves=2, hosts_per_leaf=n_paths,
+            seed=seed,
+        )
+        runs.append(
+            run_elephant_workload(
+                cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
+            )
+        )
+    per_flow = [r for run in runs for r in run.per_pair_rates_bps]
+    return ScalabilityPoint(
+        scheme=scheme,
+        n_paths=n_paths,
+        mean_tput_bps=mean(per_flow),
+        loss_rate=mean([run.loss_rate for run in runs]),
+        fairness=jain_fairness(per_flow),
+        rtts_ns=[r for run in runs for r in run.rtts_ns],
+    )
+
+
+def run_scalability(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    path_counts: Sequence[int] = (2, 4, 6, 8),
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[str, List[ScalabilityPoint]]:
+    """The full Figs 7-9 grid."""
+    return {
+        scheme: [
+            run_scalability_point(scheme, n, seeds, warm_ns, measure_ns)
+            for n in path_counts
+        ]
+        for scheme in schemes
+    }

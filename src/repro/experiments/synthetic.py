@@ -1,0 +1,141 @@
+"""Figs 15-16: the synthetic workload suite on the 16-host Clos.
+
+Fig 15: mean elephant throughput for shuffle / random / stride /
+random-bijection under ECMP, MPTCP, Presto and Optimal.
+
+Fig 16: mice (50 KB) flow completion time CDFs alongside the stride,
+random-bijection and shuffle elephants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_MEASURE_NS,
+    DEFAULT_WARM_NS,
+    fct_percentiles,
+    run_elephant_workload,
+)
+from repro.experiments.harness import Testbed, TestbedConfig
+
+from repro.metrics.stats import mean
+from repro.sim.rand import RandomStreams
+from repro.units import KB, MB, SEC, msec
+from repro.workloads.synthetic import (
+    random_bijection_pairs,
+    random_pairs,
+    shuffle_workload,
+    stride_pairs,
+)
+
+DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
+WORKLOADS = ("shuffle", "random", "stride", "bijection")
+
+
+@dataclass
+class SyntheticResult:
+    scheme: str
+    workload: str
+    mean_elephant_tput_bps: float
+    mice_fcts_ns: List[int] = field(default_factory=list)
+
+    def mice_percentiles_ms(self) -> Dict[str, float]:
+        return fct_percentiles(self.mice_fcts_ns)
+
+
+def _pairs_for(workload: str, n_hosts: int, hosts_per_pod: int, seed: int):
+    rng = RandomStreams(seed).stream(f"workload-{workload}")
+    if workload == "stride":
+        return stride_pairs(n_hosts, 8)
+    if workload == "random":
+        return random_pairs(n_hosts, hosts_per_pod, rng)
+    if workload == "bijection":
+        return random_bijection_pairs(n_hosts, hosts_per_pod, rng)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_synthetic(
+    scheme: str,
+    workload: str,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_mice: bool = True,
+    mice_interval_ns: int = msec(5),
+) -> SyntheticResult:
+    """One (scheme, workload) cell of Figs 15/16."""
+    if workload == "shuffle":
+        return _run_shuffle(scheme, seeds, warm_ns, measure_ns, with_mice,
+                            mice_interval_ns)
+    rates: List[float] = []
+    fcts: List[int] = []
+    for seed in seeds:
+        cfg = TestbedConfig(scheme=scheme, seed=seed)
+        pairs = _pairs_for(workload, 16, 4, seed)
+        mice_pairs = pairs[::4] if with_mice else []
+        run = run_elephant_workload(
+            cfg, pairs, warm_ns, measure_ns,
+            mice_pairs=mice_pairs, mice_interval_ns=mice_interval_ns,
+        )
+        rates.extend(run.per_pair_rates_bps)
+        fcts.extend(run.mice_fcts_ns)
+    return SyntheticResult(scheme, workload, mean(rates), fcts)
+
+
+def _run_shuffle(
+    scheme: str,
+    seeds: Sequence[int],
+    warm_ns: int,
+    measure_ns: int,
+    with_mice: bool,
+    mice_interval_ns: int,
+    transfer_bytes: int = 8 * MB,
+) -> SyntheticResult:
+    """Shuffle is closed-loop (2 concurrent sized transfers per host), so
+    it cannot reuse the open-loop elephant runner.  Throughput is the
+    aggregate receive rate per host over the measurement window (the
+    receiver NIC is the bottleneck, as the paper notes)."""
+    rates: List[float] = []
+    fcts: List[int] = []
+    for seed in seeds:
+        cfg = TestbedConfig(scheme=scheme, seed=seed)
+        tb = Testbed(cfg)
+        rng = tb.streams.stream("shuffle")
+        wl = shuffle_workload(tb, transfer_bytes, concurrent=2, rng=rng)
+        wl.start()
+        mice_apps = []
+        if with_mice:
+            for src, dst in stride_pairs(16, 8)[::4]:
+                mice_apps.append(
+                    tb.add_mice(src, dst, size_bytes=50 * KB,
+                                interval_ns=mice_interval_ns,
+                                start_ns=warm_ns // 2)
+                )
+        delivered_start: Dict[int, int] = {}
+        tb.run(warm_ns)
+        for h in tb.hosts:
+            delivered_start[h.host_id] = sum(
+                r.delivered_bytes for r in h.receivers.values()
+            )
+        tb.run(warm_ns + measure_ns)
+        for h in tb.hosts:
+            end = sum(r.delivered_bytes for r in h.receivers.values())
+            rates.append((end - delivered_start[h.host_id]) * 8 * SEC / measure_ns)
+        fcts.extend(f for m in mice_apps for f in m.fcts_ns)
+    return SyntheticResult(scheme, "shuffle", mean(rates), fcts)
+
+
+def run_figure15_16(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    workloads: Sequence[str] = WORKLOADS,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+) -> Dict[Tuple[str, str], SyntheticResult]:
+    return {
+        (scheme, workload): run_synthetic(scheme, workload, seeds, warm_ns, measure_ns)
+        for workload in workloads
+        for scheme in schemes
+    }

@@ -1,0 +1,84 @@
+"""Table 1: trace-driven workload (Kandula et al. distributions x10).
+
+Mice (<100 KB) FCT percentiles, normalized to ECMP.  Paper: Presto cuts
+p99 by 56% and p99.9 by 60% while matching ECMP at the median; its
+elephant throughput tracks Optimal within 2% and beats ECMP by >10%.
+MPTCP is omitted, as in the paper (unstable under many small flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import fct_percentiles, normalize_to
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.metrics.stats import mean
+from repro.units import SEC, msec
+from repro.workloads.tracedriven import TraceWorkload
+
+DEFAULT_SCHEMES = ("ecmp", "presto", "optimal")
+
+
+@dataclass
+class TraceResult:
+    scheme: str
+    mice_fcts_ns: List[int] = field(default_factory=list)
+    elephant_tputs_bps: List[float] = field(default_factory=list)
+    flows: int = 0
+
+    def mice_percentiles_ms(self) -> Dict[str, float]:
+        return fct_percentiles(self.mice_fcts_ns)
+
+    @property
+    def mean_elephant_tput_bps(self) -> float:
+        return mean(self.elephant_tputs_bps)
+
+
+def run_trace(
+    scheme: str,
+    seeds: Sequence[int] = (1, 2),
+    duration_ns: int = msec(100),
+    size_scale: float = 10.0,
+    load_scale: float = 0.8,
+    max_size: int = 30 * 1024 * 1024,
+) -> TraceResult:
+    """``load_scale``/``max_size`` are calibrated so fabric hotspots
+    (where load balancing matters) rather than receiver-port sharing
+    (identical across schemes) dominate the mice tail, mirroring the
+    regime of the paper's testbed (see EXPERIMENTS.md)."""
+    result = TraceResult(scheme)
+    for seed in seeds:
+        cfg = TestbedConfig(scheme=scheme, seed=seed)
+        tb = Testbed(cfg)
+        wl = TraceWorkload(
+            tb, tb.streams.stream("trace"),
+            size_scale=size_scale, load_scale=load_scale,
+            stop_ns=duration_ns, max_size=max_size,
+        )
+        wl.start()
+        tb.run(duration_ns)
+        result.mice_fcts_ns.extend(wl.mice_fcts_ns)
+        result.elephant_tputs_bps.extend(
+            size * 8 * SEC / fct for size, fct in wl.elephant_records if fct > 0
+        )
+        result.flows += wl.flows_started
+    return result
+
+
+def run_table1(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    seeds: Sequence[int] = (1, 2),
+    duration_ns: int = msec(80),
+) -> Dict[str, TraceResult]:
+    return {s: run_trace(s, seeds, duration_ns) for s in schemes}
+
+
+def table1_normalized(results: Dict[str, TraceResult]) -> Dict[str, Dict[str, float]]:
+    """FCT percentiles relative to ECMP, as printed in the paper."""
+    base = results["ecmp"].mice_percentiles_ms()
+    return {
+        scheme: normalize_to(base, res.mice_percentiles_ms())
+        for scheme, res in results.items()
+        if scheme != "ecmp"
+    }

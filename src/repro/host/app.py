@@ -1,0 +1,178 @@
+"""Traffic applications used by the paper's measurements.
+
+* :class:`BulkApp` — nuttcp/scp-style elephant: a fixed-size or endless
+  transfer; throughput is measured at the receiver.
+* :class:`MiceApp` — 50 KB request every 100 ms; the flow completion
+  time (request start until the payload is fully acknowledged) is the
+  paper's mice FCT metric.
+* :class:`RttProbeApp` — sockperf-style ping-pong: a tiny message is
+  echoed by the peer; the round trip time is recorded at the client.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.host.host import Host
+from repro.sim.engine import Simulator
+from repro.units import KB, msec
+
+
+class FlowIdAllocator:
+    """Monotonic flow-id source shared by an experiment."""
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def next(self) -> int:
+        flow_id = self._next
+        self._next += 1
+        return flow_id
+
+
+class BulkApp:
+    """One elephant transfer from ``src`` to ``dst``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        flow_id: int,
+        size_bytes: Optional[int] = None,
+        start_ns: int = 0,
+        on_complete=None,
+    ):
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.size_bytes = size_bytes
+        self.on_complete = on_complete
+        self.sender = None
+        sim.schedule(start_ns, self._start)
+
+    def _start(self) -> None:
+        self.sender = self.src.open_sender(
+            self.flow_id, self.dst.host_id, on_complete=self._done
+        )
+        if self.size_bytes is None:
+            self.sender.set_unbounded()
+        else:
+            self.sender.write(self.size_bytes)
+
+    def _done(self, sender) -> None:
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def delivered_bytes(self) -> int:
+        receiver = self.dst.receivers.get(self.flow_id)
+        return receiver.delivered_bytes if receiver is not None else 0
+
+    @property
+    def fct_ns(self):
+        """Flow completion time (None while incomplete or unbounded)."""
+        return self.sender.fct_ns if self.sender is not None else None
+
+
+class MiceApp:
+    """Periodic 50 KB mice flows from ``src`` to ``dst``.
+
+    Each request is a fresh flow; its FCT (write -> fully acked) is
+    appended to ``fcts_ns``.  Requests overlap if the previous one has
+    not finished (open-loop, as in the paper's 100 ms cadence).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        flow_ids: FlowIdAllocator,
+        size_bytes: int = 50 * KB,
+        interval_ns: int = msec(100),
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.flow_ids = flow_ids
+        self.size_bytes = size_bytes
+        self.interval_ns = interval_ns
+        self.stop_ns = stop_ns
+        self.fcts_ns: List[int] = []
+        self.sent = 0
+        sim.schedule(start_ns, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_ns is not None and self.sim.now >= self.stop_ns:
+            return
+        flow_id = self.flow_ids.next()
+        sender = self.src.open_sender(flow_id, self.dst.host_id, on_complete=self._done)
+        sender.write(self.size_bytes)
+        self.sent += 1
+        self.sim.schedule(self.interval_ns, self._tick)
+
+    def _done(self, sender) -> None:
+        if sender.fct_ns is not None:
+            self.fcts_ns.append(sender.fct_ns)
+
+
+class RttProbeApp:
+    """sockperf-style RTT probe: single-packet ping-pong over TCP."""
+
+    PROBE_BYTES = 64
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Host,
+        server: Host,
+        flow_ids: FlowIdAllocator,
+        interval_ns: int = msec(1),
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.interval_ns = interval_ns
+        self.stop_ns = stop_ns
+        self.rtts_ns: List[int] = []
+        self._c2s = flow_ids.next()
+        self._s2c = flow_ids.next()
+        self._sent_at: Optional[int] = None
+        self._client_sender = None
+        self._server_sender = None
+        self._echoed = 0
+        self._received = 0
+        sim.schedule(start_ns, self._start)
+
+    def _start(self) -> None:
+        self._client_sender = self.client.open_sender(self._c2s, self.server.host_id)
+        self._server_sender = self.server.open_sender(self._s2c, self.client.host_id)
+        self.server.expect_flow(self._c2s, self._on_server_data)
+        self.client.expect_flow(self._s2c, self._on_client_data)
+        self._send_probe()
+
+    def _send_probe(self) -> None:
+        if self.stop_ns is not None and self.sim.now >= self.stop_ns:
+            return
+        self._sent_at = self.sim.now
+        self._client_sender.write(self.PROBE_BYTES)
+
+    def _on_server_data(self, total: int) -> None:
+        # echo every fully received probe back to the client
+        while total - self._echoed >= self.PROBE_BYTES:
+            self._echoed += self.PROBE_BYTES
+            self._server_sender.write(self.PROBE_BYTES)
+
+    def _on_client_data(self, total: int) -> None:
+        while total - self._received >= self.PROBE_BYTES:
+            self._received += self.PROBE_BYTES
+            if self._sent_at is not None:
+                self.rtts_ns.append(self.sim.now - self._sent_at)
+                self._sent_at = None
+                delay = max(0, self.interval_ns)
+                self.sim.schedule(delay, self._send_probe)

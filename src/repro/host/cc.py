@@ -1,0 +1,122 @@
+"""Congestion control: Reno and CUBIC (the paper's testbed default).
+
+Windows are in **bytes**.  The controller object owns ``cwnd`` and
+``ssthresh``; the :class:`~repro.host.tcp.TcpSender` drives it with ACK
+/ loss / timeout notifications.  CUBIC follows Ha, Rhee & Xu (2008)
+with standard beta=0.7 and C=0.4 and TCP-friendly region checks.
+"""
+
+from __future__ import annotations
+
+from repro.units import SEC
+
+INF = float("inf")
+
+
+class RenoCc:
+    """NewReno: slow start + AIMD congestion avoidance."""
+
+    name = "reno"
+
+    def __init__(self, mss: int, init_cwnd_pkts: int = 10):
+        self.mss = mss
+        self.cwnd = float(mss * init_cwnd_pkts)
+        self.ssthresh = INF
+        self._ca_accum = 0.0
+
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_bytes: int, now_ns: int, rtt_ns: int) -> None:
+        if self.in_slow_start():
+            self.cwnd += acked_bytes
+        else:
+            # Appropriate byte counting: +MSS per cwnd of acked bytes.
+            self._ca_accum += acked_bytes
+            if self._ca_accum >= self.cwnd:
+                self._ca_accum -= self.cwnd
+                self.cwnd += self.mss
+
+    def on_enter_recovery(self, flight_bytes: int, now_ns: int) -> None:
+        self.ssthresh = max(flight_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+
+    def on_exit_recovery(self, now_ns: int) -> None:
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, flight_bytes: int, now_ns: int) -> None:
+        self.ssthresh = max(flight_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd = float(self.mss)
+        self._ca_accum = 0.0
+
+
+class CubicCc(RenoCc):
+    """CUBIC window growth with the standard cubic function
+    W(t) = C*(t-K)^3 + W_max and a TCP-friendly lower envelope."""
+
+    name = "cubic"
+
+    C = 0.4          # scaling constant (units: MSS/s^3)
+    BETA = 0.7       # multiplicative decrease
+
+    def __init__(self, mss: int, init_cwnd_pkts: int = 10):
+        super().__init__(mss, init_cwnd_pkts)
+        self._w_max = 0.0          # cwnd before the last reduction (MSS units)
+        self._epoch_start = None   # ns
+        self._k = 0.0              # seconds
+        self._tcp_cwnd = 0.0       # TCP-friendly estimate (MSS units)
+
+    def on_ack(self, acked_bytes: int, now_ns: int, rtt_ns: int) -> None:
+        if self.in_slow_start():
+            self.cwnd += acked_bytes
+            return
+        mss = self.mss
+        if self._epoch_start is None:
+            self._epoch_start = now_ns
+            w = self.cwnd / mss
+            if w < self._w_max:
+                self._k = ((self._w_max - w) / self.C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+            self._tcp_cwnd = w
+        t = (now_ns - self._epoch_start) / SEC
+        target = self.C * (t - self._k) ** 3 + self._w_max  # in MSS
+        # TCP-friendly region (standard Reno-equivalent growth estimate)
+        rtt_s = max(rtt_ns / SEC, 1e-6)
+        self._tcp_cwnd += 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * (
+            acked_bytes / self.cwnd
+        )
+        target = max(target, self._tcp_cwnd)
+        w_now = self.cwnd / mss
+        if target > w_now:
+            # Close the gap to the cubic target over roughly one RTT of ACKs.
+            self.cwnd += (target - w_now) * mss * (acked_bytes / self.cwnd)
+        else:
+            # plateau: tiny growth to keep probing
+            self.cwnd += mss * (acked_bytes / (100.0 * self.cwnd))
+
+    def _reduce(self) -> None:
+        self._w_max = self.cwnd / self.mss
+        self._epoch_start = None
+        self.ssthresh = max(self.cwnd * self.BETA, 2.0 * self.mss)
+
+    def on_enter_recovery(self, flight_bytes: int, now_ns: int) -> None:
+        self._reduce()
+        self.cwnd = self.ssthresh
+
+    def on_exit_recovery(self, now_ns: int) -> None:
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, flight_bytes: int, now_ns: int) -> None:
+        self._reduce()
+        self.cwnd = float(self.mss)
+        self._ca_accum = 0.0
+
+
+def make_cc(name: str, mss: int, init_cwnd_pkts: int = 10):
+    """Factory: 'reno' or 'cubic'."""
+    if name == "reno":
+        return RenoCc(mss, init_cwnd_pkts)
+    if name == "cubic":
+        return CubicCc(mss, init_cwnd_pkts)
+    raise ValueError(f"unknown congestion control: {name!r}")

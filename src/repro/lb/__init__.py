@@ -1,0 +1,15 @@
+"""Edge load-balancing schemes (the vSwitch datapath of each host).
+
+Every scheme implements :class:`repro.lb.base.LoadBalancer`: given an
+outgoing segment, pick the destination MAC (a shadow-MAC path label or
+the real MAC) and stamp the flowcell ID.  The Presto scheme itself
+lives in :mod:`repro.presto.vswitch`.
+"""
+
+from repro.lb.base import LoadBalancer
+from repro.lb.ecmp import EcmpLb
+from repro.lb.flowlet import FlowletLb
+from repro.lb.perpacket import PerPacketLb
+from repro.lb.presto_ecmp import PrestoEcmpLb
+
+__all__ = ["LoadBalancer", "EcmpLb", "FlowletLb", "PerPacketLb", "PrestoEcmpLb"]

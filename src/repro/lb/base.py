@@ -1,0 +1,53 @@
+"""Load-balancer interface shared by every scheme."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addresses import host_mac
+from repro.net.packet import Packet, Segment
+
+
+class LoadBalancer:
+    """Per-host path selection at the soft edge.
+
+    The controller pushes a *schedule* per destination: an ordered list
+    of forwarding labels (shadow MACs), possibly with duplicates to
+    realize WCMP-style weights (paper S3.3).  ``select`` mutates the
+    outgoing segment's ``dst_mac`` and ``flowcell_id`` before TSO
+    replicates them onto the wire packets.
+    """
+
+    name = "base"
+
+    def __init__(self, host_id: int, rng: Optional[random.Random] = None):
+        self.host_id = host_id
+        self.rng = rng if rng is not None else random.Random(host_id)
+        self._schedules: Dict[int, List[int]] = {}
+
+    def set_schedule(self, dst_host: int, labels: List[int]) -> None:
+        """Install/replace the label schedule toward ``dst_host``."""
+        if not labels:
+            raise ValueError("schedule must contain at least one label")
+        self._schedules[dst_host] = list(labels)
+
+    def labels_for(self, dst_host: int) -> List[int]:
+        """Schedule for a destination; defaults to its real MAC (direct)."""
+        labels = self._schedules.get(dst_host)
+        if labels is None:
+            return [host_mac(dst_host)]
+        return labels
+
+    def select(self, seg: Segment) -> None:
+        """Assign ``seg.dst_mac`` (and possibly ``flowcell_id``).
+
+        The base behaviour is single-path: always the first label.
+        """
+        seg.dst_mac = self.labels_for(seg.dst_host)[0]
+        if seg.flowcell_id == 0:
+            seg.flowcell_id = 1
+
+    def packet_labeler(self) -> Optional[Callable[[Packet], None]]:
+        """Per-derived-packet hook for packet-spraying schemes."""
+        return None

@@ -1,0 +1,32 @@
+"""Per-flow ECMP, the paper's primary baseline.
+
+The paper implements ECMP "by enumerating all possible end-to-end paths
+and randomly selecting a path for each flow"; here each flow draws one
+label from the destination's schedule via a deterministic seeded hash,
+so collisions happen with exactly the birthday statistics that make
+ECMP hurt elephants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lb.base import LoadBalancer
+from repro.net.packet import Segment
+
+
+class EcmpLb(LoadBalancer):
+    name = "ecmp"
+
+    def __init__(self, host_id: int, rng=None):
+        super().__init__(host_id, rng)
+        self._choice: Dict[int, int] = {}
+
+    def select(self, seg: Segment) -> None:
+        labels = self.labels_for(seg.dst_host)
+        idx = self._choice.get(seg.flow_id)
+        if idx is None:
+            idx = self.rng.randrange(len(labels))
+            self._choice[seg.flow_id] = idx
+        seg.dst_mac = labels[idx % len(labels)]
+        seg.flowcell_id = 1

@@ -1,0 +1,16 @@
+"""Measurement utilities: statistics, run collectors, reordering metrics."""
+
+from repro.metrics.stats import cdf_points, ewma, jain_fairness, mean, percentile
+from repro.metrics.collectors import LossAccountant, ThroughputMeter
+from repro.metrics.reordering import ReorderTracker
+
+__all__ = [
+    "percentile",
+    "mean",
+    "cdf_points",
+    "jain_fairness",
+    "ewma",
+    "ThroughputMeter",
+    "LossAccountant",
+    "ReorderTracker",
+]

@@ -1,0 +1,92 @@
+"""Run-time collectors: throughput windows and loss accounting."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.host import Host
+from repro.net.topology import Topology
+from repro.units import SEC
+
+
+class ThroughputMeter:
+    """Per-flow goodput measured at the receiver over a window.
+
+    ``mark_start``/``mark_end`` snapshot each tracked flow's in-order
+    delivered byte count; throughput is the delta over the wall window,
+    matching how nuttcp reports.
+    """
+
+    def __init__(self):
+        self._flows: List[Tuple[int, Host]] = []
+        self._start_bytes: Dict[int, int] = {}
+        self._start_ns: Optional[int] = None
+        self._end_bytes: Dict[int, int] = {}
+        self._end_ns: Optional[int] = None
+
+    def track(self, flow_id: int, receiver_host: Host) -> None:
+        self._flows.append((flow_id, receiver_host))
+
+    def _delivered(self, flow_id: int, host: Host) -> int:
+        receiver = host.receivers.get(flow_id)
+        return receiver.delivered_bytes if receiver is not None else 0
+
+    def mark_start(self, now_ns: int) -> None:
+        self._start_ns = now_ns
+        for flow_id, host in self._flows:
+            self._start_bytes[flow_id] = self._delivered(flow_id, host)
+
+    def mark_end(self, now_ns: int) -> None:
+        self._end_ns = now_ns
+        for flow_id, host in self._flows:
+            self._end_bytes[flow_id] = self._delivered(flow_id, host)
+
+    def flow_rates_bps(self) -> Dict[int, float]:
+        if self._start_ns is None or self._end_ns is None:
+            raise RuntimeError("mark_start/mark_end not called")
+        window = self._end_ns - self._start_ns
+        if window <= 0:
+            return {flow_id: 0.0 for flow_id, _ in self._flows}
+        return {
+            flow_id: (self._end_bytes[flow_id] - self._start_bytes.get(flow_id, 0))
+            * 8
+            * SEC
+            / window
+            for flow_id, _ in self._flows
+        }
+
+    def mean_rate_bps(self) -> float:
+        rates = self.flow_rates_bps()
+        if not rates:
+            return 0.0
+        return sum(rates.values()) / len(rates)
+
+
+class LossAccountant:
+    """Switch-counter loss rate, as the paper measures (Figs 9a, 12a)."""
+
+    def __init__(self, topo: Topology, hosts: List[Host]):
+        self.topo = topo
+        self.hosts = hosts
+        self._start_drops = 0
+        self._start_tx = 0
+
+    def mark_start(self) -> None:
+        self._start_drops = self._total_drops()
+        self._start_tx = self._total_tx()
+
+    def _total_drops(self) -> int:
+        drops = self.topo.total_switch_drops()
+        drops += sum(h.nic.ring_drops for h in self.hosts)
+        return drops
+
+    def _total_tx(self) -> int:
+        return sum(h.nic.tx_pkts for h in self.hosts)
+
+    def loss_rate(self) -> float:
+        """Dropped / transmitted packets over the marked window."""
+        sent = self._total_tx() - self._start_tx
+        if sent <= 0:
+            return 0.0
+        dropped = self._total_drops() - self._start_drops
+        return dropped / sent

@@ -1,0 +1,70 @@
+"""Reordering metrics for Fig 5.
+
+Attach a :class:`ReorderTracker` to a host's ``segment_tap`` and it
+records, per flow, the order in which GRO pushed segments up and their
+sizes.  Afterwards:
+
+* :meth:`out_of_order_counts` — the paper's Fig 5a metric: for each
+  flowcell, the number of segments *from other flowcells* pushed
+  between that flowcell's first and last segment (0 = no reordering
+  exposed to TCP);
+* :meth:`segment_sizes` — Fig 5b's pushed-segment size distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.packet import Segment
+
+
+class ReorderTracker:
+    def __init__(self, max_samples: int = 500_000):
+        self.max_samples = max_samples
+        #: flow -> ordered list of (flowcell_id, payload_len)
+        self._pushes: Dict[int, List[Tuple[int, int]]] = {}
+        self.truncated = False
+
+    def observe(self, seg: Segment) -> None:
+        pushes = self._pushes.setdefault(seg.flow_id, [])
+        if len(pushes) >= self.max_samples:
+            self.truncated = True
+            return
+        pushes.append((seg.flowcell_id, seg.payload_len))
+
+    def segment_sizes(self, flow_id: Optional[int] = None) -> List[int]:
+        sizes = []
+        for fid, pushes in self._pushes.items():
+            if flow_id is not None and fid != flow_id:
+                continue
+            sizes.extend(size for _, size in pushes)
+        return sizes
+
+    def out_of_order_counts(self, flow_id: Optional[int] = None) -> List[int]:
+        """Per-flowcell interleaving counts (Fig 5a)."""
+        counts: List[int] = []
+        for fid, pushes in self._pushes.items():
+            if flow_id is not None and fid != flow_id:
+                continue
+            counts.extend(self._counts_for(pushes))
+        return counts
+
+    @staticmethod
+    def _counts_for(pushes: List[Tuple[int, int]]) -> List[int]:
+        first: Dict[int, int] = {}
+        last: Dict[int, int] = {}
+        for idx, (cell, _) in enumerate(pushes):
+            if cell not in first:
+                first[cell] = idx
+            last[cell] = idx
+        counts = []
+        for cell, start in first.items():
+            end = last[cell]
+            if end == start:
+                counts.append(0)
+                continue
+            interleaved = sum(
+                1 for idx in range(start + 1, end) if pushes[idx][0] != cell
+            )
+            counts.append(interleaved)
+        return counts

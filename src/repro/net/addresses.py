@@ -1,0 +1,62 @@
+"""MAC addressing, including Presto's shadow-MAC forwarding labels.
+
+Shadow MACs (Agarwal et al., HotSDN'14) turn the destination MAC into an
+opaque label: one label per (spanning tree, destination host) pair.  We
+encode MACs as integers for speed; the layout is:
+
+* real host MAC:     ``host_id``                      (tree field = 0)
+* shadow MAC:        ``(tree_id + 1) << 32 | host_id``
+
+so a shadow MAC is distinguishable from a real MAC, the tree and the
+destination host recover with shifts, and dictionary forwarding lookups
+stay integer-keyed.
+"""
+
+from __future__ import annotations
+
+MacAddress = int
+
+_TREE_SHIFT = 32
+_HOST_MASK = (1 << _TREE_SHIFT) - 1
+
+
+def host_mac(host_id: int) -> MacAddress:
+    """The *real* MAC address of host ``host_id``."""
+    if host_id < 0 or host_id > _HOST_MASK:
+        raise ValueError(f"host_id out of range: {host_id}")
+    return host_id
+
+
+def shadow_mac(tree_id: int, host_id: int) -> MacAddress:
+    """The shadow MAC that routes to ``host_id`` along spanning tree
+    ``tree_id``."""
+    if tree_id < 0:
+        raise ValueError(f"tree_id must be >= 0: {tree_id}")
+    if host_id < 0 or host_id > _HOST_MASK:
+        raise ValueError(f"host_id out of range: {host_id}")
+    return ((tree_id + 1) << _TREE_SHIFT) | host_id
+
+
+def is_shadow_mac(mac: MacAddress) -> bool:
+    """True when ``mac`` is a forwarding label rather than a real MAC."""
+    return mac > _HOST_MASK
+
+
+def shadow_mac_tree(mac: MacAddress) -> int:
+    """Spanning-tree id encoded in a shadow MAC."""
+    if not is_shadow_mac(mac):
+        raise ValueError(f"{mac} is not a shadow MAC")
+    return (mac >> _TREE_SHIFT) - 1
+
+
+def shadow_mac_host(mac: MacAddress) -> int:
+    """Destination host id encoded in any MAC (real or shadow)."""
+    return mac & _HOST_MASK
+
+
+def mac_str(mac: MacAddress) -> str:
+    """Human-readable rendering, e.g. ``t3:h00:00:05`` or ``h00:00:02``."""
+    host = mac & _HOST_MASK
+    if is_shadow_mac(mac):
+        return f"t{(mac >> _TREE_SHIFT) - 1}:h{host:08x}"
+    return f"h{host:08x}"

@@ -1,0 +1,122 @@
+"""Drop-tail FIFOs with optional shared-buffer admission.
+
+The paper's RackSwitch G8264 (Broadcom Scorpion/Trident class) keeps a
+~4 MB packet buffer *shared* across ports with dynamic per-port
+thresholds: a lone hot port may absorb megabytes of burst, but when the
+pool is contended every port's share shrinks.  :class:`SharedBuffer`
+models the classic dynamic-threshold rule (port limit = alpha x free
+pool); loss under collision is what makes ECMP hurt, and the counters
+mirror the switch counters the paper reads for its loss-rate figures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class SharedBuffer:
+    """A switch's packet-memory pool with dynamic thresholding.
+
+    A port may enqueue while its own occupancy stays below
+    ``alpha * (total - used)`` — the standard Broadcom DT rule.  With
+    alpha=2 a single congested port can take up to 2/3 of the pool.
+    """
+
+    def __init__(self, total_bytes: int, alpha: float = 2.0):
+        if total_bytes <= 0:
+            raise ValueError(f"pool must be positive: {total_bytes}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive: {alpha}")
+        self.total_bytes = total_bytes
+        self.alpha = alpha
+        self.used_bytes = 0
+
+    def admits(self, size: int, port_occupancy: int) -> bool:
+        if self.used_bytes + size > self.total_bytes:
+            return False
+        free = self.total_bytes - self.used_bytes
+        return port_occupancy + size <= self.alpha * free
+
+    def take(self, size: int) -> None:
+        self.used_bytes += size
+
+    def release(self, size: int) -> None:
+        self.used_bytes -= size
+        assert self.used_bytes >= 0, "shared buffer accounting underflow"
+
+
+class DropTailQueue:
+    """FIFO with a byte capacity; enqueue beyond capacity drops the packet."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        track_flows: bool = False,
+        shared: Optional[SharedBuffer] = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.shared = shared
+        self._queue: deque = deque()
+        self.bytes_queued = 0
+        #: per-flow occupancy (enabled on host egress queues for TSQ)
+        self.track_flows = track_flows
+        self.flow_bytes: dict = {}
+        # counters (cumulative)
+        self.enqueued_pkts = 0
+        self.enqueued_bytes = 0
+        self.dropped_pkts = 0
+        self.dropped_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Add ``pkt``; returns False (and counts a drop) when full."""
+        size = pkt.wire_size
+        if self.bytes_queued + size > self.capacity_bytes or (
+            self.shared is not None
+            and not self.shared.admits(size, self.bytes_queued)
+        ):
+            self.dropped_pkts += 1
+            self.dropped_bytes += size
+            return False
+        if self.shared is not None:
+            self.shared.take(size)
+        self._queue.append(pkt)
+        self.bytes_queued += size
+        self.enqueued_pkts += 1
+        self.enqueued_bytes += size
+        if self.track_flows:
+            self.flow_bytes[pkt.flow_id] = self.flow_bytes.get(pkt.flow_id, 0) + size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        pkt = self._queue.popleft()
+        self.bytes_queued -= pkt.wire_size
+        if self.shared is not None:
+            self.shared.release(pkt.wire_size)
+        if self.track_flows:
+            left = self.flow_bytes.get(pkt.flow_id, 0) - pkt.wire_size
+            if left > 0:
+                self.flow_bytes[pkt.flow_id] = left
+            else:
+                self.flow_bytes.pop(pkt.flow_id, None)
+        return pkt
+
+    def clear(self) -> int:
+        """Drop everything queued (used when a link dies); returns count."""
+        n = len(self._queue)
+        if self.shared is not None:
+            self.shared.release(self.bytes_queued)
+        self._queue.clear()
+        self.bytes_queued = 0
+        self.flow_bytes.clear()
+        return n

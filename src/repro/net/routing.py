@@ -1,0 +1,108 @@
+"""Path enumeration and disjoint spanning-tree allocation.
+
+In a 2-tier Clos with ``v`` spines and one link per (leaf, spine) pair,
+the controller allocates ``v`` disjoint spanning trees, one routed
+through each spine (paper S3.1 / Fig 3).  Each tree gets a shadow-MAC
+label per destination host; :func:`install_tree_routes` programs the
+L2 tables so labelled packets ride exactly that tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.net.addresses import shadow_mac
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+
+
+@dataclass
+class SpanningTree:
+    """One spanning tree of the Clos fabric, identified by its spine."""
+
+    tree_id: int
+    spine: Switch
+    #: parallel-link index for topologies with gamma > 1 links per
+    #: (leaf, spine); 0 in all paper topologies.
+    link_index: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SpanningTree {self.tree_id} via {self.spine.name}>"
+
+
+def allocate_spanning_trees(topo: Topology) -> List[SpanningTree]:
+    """Disjoint trees: one per (spine, parallel-link) as in the paper.
+
+    For the single-switch topology (no spines) there is one degenerate
+    tree: all traffic crosses the one switch.
+    """
+    if not topo.spines:
+        return [SpanningTree(0, topo.leaves[0])]
+    trees: List[SpanningTree] = []
+    tree_id = 0
+    gamma = _parallel_link_count(topo)
+    for link_index in range(gamma):
+        for spine in topo.spines:
+            trees.append(SpanningTree(tree_id, spine, link_index))
+            tree_id += 1
+    return trees
+
+
+def _parallel_link_count(topo: Topology) -> int:
+    """gamma: parallel links between each leaf and spine (assumed uniform)."""
+    if not topo.leaves or not topo.spines:
+        return 1
+    return max(1, len(topo.ports_between(topo.leaves[0], topo.spines[0])))
+
+
+def install_tree_routes(topo: Topology, trees: List[SpanningTree]) -> None:
+    """Program shadow-MAC forwarding for every (tree, destination host).
+
+    Source leaf: label -> uplink to the tree's spine (the spine choice IS
+                 the path in a 2-tier Clos).
+    Every spine: label -> downlink to the destination's leaf.  Installing
+                 the downlink entry on all spines (not just the tree's)
+                 is what lets hardware fast failover redirect a labelled
+                 packet through a backup spine without controller help.
+    Dest leaf:   label -> host port (the host vSwitch rewrites the real
+                 MAC back, paper S3.2).
+    """
+    for tree in trees:
+        for host_id, leaf in topo.host_leaf.items():
+            label = shadow_mac(tree.tree_id, host_id)
+            host_port = topo.host_port[host_id]
+            leaf.install_route(label, host_port)
+            if not topo.spines:
+                continue
+            for spine in topo.spines:
+                downs = topo.ports_between(spine, leaf)
+                if downs:
+                    spine.install_route(
+                        label, downs[min(tree.link_index, len(downs) - 1)]
+                    )
+            for other_leaf in topo.leaves:
+                if other_leaf is leaf:
+                    continue
+                ups = topo.ports_between(other_leaf, tree.spine)
+                if ups:
+                    other_leaf.install_route(
+                        label, ups[min(tree.link_index, len(ups) - 1)]
+                    )
+
+
+def enumerate_paths(topo: Topology, src_host: int, dst_host: int) -> List[List[str]]:
+    """All end-to-end switch paths between two hosts (by switch name).
+
+    Used by the ECMP baseline, which the paper implements by enumerating
+    end-to-end paths and picking one per flow at random.
+    """
+    src_leaf = topo.host_leaf[src_host]
+    dst_leaf = topo.host_leaf[dst_host]
+    if src_leaf is dst_leaf:
+        return [[src_leaf.name]]
+    paths = []
+    for spine in topo.spines:
+        if topo.port_between(src_leaf, spine) and topo.port_between(spine, dst_leaf):
+            paths.append([src_leaf.name, spine.name, dst_leaf.name])
+    return paths

@@ -1,0 +1,189 @@
+"""Output-queued L2 switch with exact-match tables, ECMP groups and
+OpenFlow-style fast-failover groups.
+
+Forwarding pipeline (matches how the paper's testbed is programmed):
+
+1. exact match on destination MAC (real host MACs and shadow-MAC labels
+   installed by the controller);
+2. otherwise the port's default ECMP group, hashing either per-flow
+   (classic ECMP) or per-(flow, flowcell) (the paper's "Presto + ECMP"
+   per-hop variant, Fig 14);
+3. a failover group can redirect a packet whose chosen egress link is
+   down to a preconfigured backup port (Fig 17 "failover" stage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.packet import Packet
+from repro.net.port import Port
+
+
+def _mix(key: int, salt: int) -> int:
+    """Cheap deterministic integer hash (Knuth multiplicative + xor-shift).
+
+    CPython's ``hash(int)`` is the identity, which would make "random"
+    ECMP placement suspiciously uniform; this mixes properly and is
+    stable across runs and interpreters.
+    """
+    x = (key * 0x9E3779B97F4A7C15 + salt) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 29
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 32
+    return x
+
+
+HASH_FLOW = "flow"
+HASH_FLOWCELL = "flowcell"
+
+
+class EcmpGroup:
+    """Equal-cost multipath group over a set of ports."""
+
+    def __init__(self, ports: List[Port], salt: int = 0, mode: str = HASH_FLOW):
+        if not ports:
+            raise ValueError("ECMP group needs at least one port")
+        if mode not in (HASH_FLOW, HASH_FLOWCELL):
+            raise ValueError(f"unknown hash mode: {mode}")
+        self.ports = list(ports)
+        self.salt = salt
+        self.mode = mode
+
+    def select(self, pkt: Packet) -> Port:
+        if self.mode == HASH_FLOW:
+            key = pkt.flow_id
+        else:
+            key = pkt.flow_id * 1_000_003 + pkt.flowcell_id
+        return self.ports[_mix(key, self.salt) % len(self.ports)]
+
+
+class FailoverGroup:
+    """Maps a primary egress port to a backup used while its link is down.
+
+    Models hardware fast failover (BGP external failover / OpenFlow
+    fast-failover groups): redirect happens in the datapath with no
+    controller involvement, ``latency_ns`` after the failure is detected.
+    OpenFlow failover buckets may carry header-rewrite actions, which is
+    how a spine detours around a dead leaf link: relabel the packet onto
+    another spanning tree and bounce it through a neighbouring leaf.
+    """
+
+    def __init__(self, latency_ns: int = 0):
+        self._backup: Dict[Port, tuple] = {}  # primary -> (backup, rewrite?)
+        self.latency_ns = latency_ns
+        self._failed_at: Dict[Port, int] = {}
+
+    def set_backup(self, primary: Port, backup: Port, rewrite=None) -> None:
+        """``rewrite`` is an optional callable(pkt) applied on redirect
+        (an OpenFlow set-field action in the failover bucket)."""
+        self._backup[primary] = (backup, rewrite)
+
+    def note_failure(self, port: Port, now: int) -> None:
+        self._failed_at.setdefault(port, now)
+
+    def reroute(self, port: Port, now: int, pkt: Packet) -> Optional[Port]:
+        """Backup port for ``port`` if configured and detection latency has
+        elapsed; None otherwise (packet is dropped, as in hardware).
+        Applies the bucket's rewrite action to ``pkt``."""
+        entry = self._backup.get(port)
+        if entry is None:
+            return None
+        backup, rewrite = entry
+        if not backup.up:
+            return None
+        failed_at = self._failed_at.get(port)
+        if failed_at is not None and now - failed_at < self.latency_ns:
+            return None
+        if rewrite is not None:
+            rewrite(pkt)
+        return backup
+
+
+class Switch:
+    """A named switch: forwarding state + attached ports."""
+
+    def __init__(self, name: str, salt: int = 0, shared_buffer=None):
+        self.name = name
+        self.salt = salt
+        #: optional SharedBuffer pool backing all of this switch's ports
+        self.shared_buffer = shared_buffer
+        self.ports: List[Port] = []
+        self.l2_table: Dict[int, Port] = {}
+        self.ecmp_default: Optional[EcmpGroup] = None
+        #: per-destination ECMP groups (checked before ecmp_default)
+        self.ecmp_by_mac: Dict[int, EcmpGroup] = {}
+        self.failover: Optional[FailoverGroup] = None
+        self.rx_pkts = 0
+        self.no_route_drops = 0
+        self.ttl_drops = 0
+
+    def add_port(self, port: Port) -> None:
+        self.ports.append(port)
+        if self.failover is not None:
+            self._watch_link(port)
+
+    def enable_failover(self, latency_ns: int = 0) -> FailoverGroup:
+        """Turn on fast failover; returns the group to configure backups."""
+        self.failover = FailoverGroup(latency_ns)
+        for port in self.ports:
+            self._watch_link(port)
+        return self.failover
+
+    def _watch_link(self, port: Port) -> None:
+        def on_change(link, port=port):
+            if not link.up and self.failover is not None:
+                self.failover.note_failure(port, _now_of(port))
+        port.link.on_state_change.append(on_change)
+
+    def install_route(self, mac: int, port: Port) -> None:
+        """Exact-match L2 entry: ``mac`` forwards out ``port``."""
+        self.l2_table[mac] = port
+
+    def remove_route(self, mac: int) -> None:
+        self.l2_table.pop(mac, None)
+
+    def lookup(self, pkt: Packet) -> Optional[Port]:
+        port = self.l2_table.get(pkt.dst_mac)
+        if port is None:
+            group = self.ecmp_by_mac.get(pkt.dst_mac) or self.ecmp_default
+            if group is not None:
+                port = group.select(pkt)
+        return port
+
+    #: hop budget: a forwarding loop (e.g. mis-configured failover
+    #: bounces) kills the packet instead of the simulator
+    MAX_HOPS = 32
+
+    def receive(self, pkt: Packet, in_port: Optional[Port]) -> None:
+        self.rx_pkts += 1
+        if pkt.hops > self.MAX_HOPS:
+            self.ttl_drops += 1
+            return
+        out = self.lookup(pkt)
+        if out is not None and not out.up and self.failover is not None:
+            # Hardware semantics: the bucket applies its rewrite and
+            # forwards out its explicit backup port — no second lookup
+            # here; the next hop resolves the (possibly new) label.
+            out = self.failover.reroute(out, _now_of(out), pkt)
+        if out is None:
+            self.no_route_drops += 1
+            return
+        out.send(pkt)
+
+    # --- counters -----------------------------------------------------------
+
+    def dropped_pkts(self) -> int:
+        """Total packets dropped at this switch's output queues."""
+        return (
+            sum(p.queue.dropped_pkts for p in self.ports)
+            + self.no_route_drops
+            + self.ttl_drops
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Switch {self.name} ports={len(self.ports)}>"
+
+
+def _now_of(port: Port) -> int:
+    return port.sim.now

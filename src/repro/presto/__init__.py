@@ -1,0 +1,9 @@
+"""Presto: flowcell creation (Algorithm 1), the vSwitch datapath, and
+the centralized controller (spanning trees, shadow MACs, failure
+handling and weighted multipathing)."""
+
+from repro.presto.flowcell import FLOWCELL_BYTES, FlowcellTagger
+from repro.presto.vswitch import PrestoLb
+from repro.presto.controller import PrestoController
+
+__all__ = ["FLOWCELL_BYTES", "FlowcellTagger", "PrestoLb", "PrestoController"]

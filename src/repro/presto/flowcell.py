@@ -1,0 +1,68 @@
+"""Flowcell creation — the paper's Algorithm 1, verbatim.
+
+Per flow, the vSwitch keeps a byte counter, the current label index and
+the flowcell ID.  When the counter would exceed the 64 KB threshold the
+flow rotates to the next label (round-robin over the controller-pushed
+schedule) and increments the flowcell ID.  Retransmitted TCP segments
+run through the same code, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.units import MAX_TSO_BYTES
+
+#: Flowcell granularity = maximum TSO segment (paper S2.1).
+FLOWCELL_BYTES = MAX_TSO_BYTES
+
+
+class _FlowState:
+    __slots__ = ("bytecount", "idx", "cell")
+
+    def __init__(self, idx: int):
+        self.bytecount = 0
+        self.idx = idx
+        self.cell = 1
+
+
+class FlowcellTagger:
+    """Algorithm 1: map a stream of segment lengths to (label index,
+    flowcell ID) pairs."""
+
+    def __init__(self, threshold: int = FLOWCELL_BYTES, initial_idx: int = 0):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        self.threshold = threshold
+        self._flows: Dict[int, _FlowState] = {}
+        self._initial_idx = initial_idx
+        self._idx_fn = None  # optional callable(flow_id) -> initial index
+
+    def set_initial_index_fn(self, fn) -> None:
+        """Randomize each flow's starting label (decorrelates senders)."""
+        self._idx_fn = fn
+
+    def tag(self, flow_id: int, seg_len: int, n_labels: int) -> Tuple[int, int]:
+        """Account ``seg_len`` bytes for ``flow_id``; returns
+        ``(label_index, flowcell_id)`` for this segment."""
+        if n_labels <= 0:
+            raise ValueError("need at least one label")
+        st = self._flows.get(flow_id)
+        if st is None:
+            idx = self._idx_fn(flow_id) if self._idx_fn else self._initial_idx
+            st = _FlowState(idx % n_labels)
+            self._flows[flow_id] = st
+        if st.bytecount + seg_len > self.threshold:
+            st.bytecount = seg_len
+            st.idx = (st.idx + 1) % n_labels
+            st.cell += 1
+        else:
+            st.bytecount += seg_len
+        return st.idx % n_labels, st.cell
+
+    def flow_state(self, flow_id: int) -> Optional[Tuple[int, int, int]]:
+        """(bytecount, label index, flowcell id) for tests/inspection."""
+        st = self._flows.get(flow_id)
+        if st is None:
+            return None
+        return st.bytecount, st.idx, st.cell

@@ -1,0 +1,53 @@
+"""Presto's sender-side vSwitch datapath.
+
+Rewrites each outgoing segment's destination MAC with the shadow MAC of
+the next spanning tree (round-robin per 64 KB flowcell) and stamps the
+flowcell ID, which TSO then replicates onto every MTU packet.  The
+receive-side rewrite (shadow MAC back to real MAC) is a constant-time
+cost accounted in :class:`repro.host.cpu.CpuCosts`.
+"""
+
+from __future__ import annotations
+
+from repro.lb.base import LoadBalancer
+from repro.net.packet import Segment
+from repro.presto.flowcell import FLOWCELL_BYTES, FlowcellTagger
+
+
+class PrestoLb(LoadBalancer):
+    name = "presto"
+
+    def __init__(
+        self,
+        host_id: int,
+        rng=None,
+        threshold: int = FLOWCELL_BYTES,
+        mode: str = "rr",
+    ):
+        """``mode``: "rr" (the paper's round robin) or "random" — the
+        ablation showing why deterministic iteration beats randomized
+        flowcell placement (S2.1 "assigned over multiple paths very
+        evenly by iterating over paths in a round-robin, rather than
+        randomized, fashion")."""
+        if mode not in ("rr", "random"):
+            raise ValueError(f"unknown mode {mode!r}")
+        super().__init__(host_id, rng)
+        self.mode = mode
+        self.tagger = FlowcellTagger(threshold)
+        self.tagger.set_initial_index_fn(lambda flow_id: self.rng.randrange(1 << 16))
+        self._random_idx = {}
+
+    def select(self, seg: Segment) -> None:
+        labels = self.labels_for(seg.dst_host)
+        idx, cell = self.tagger.tag(seg.flow_id, seg.payload_len, len(labels))
+        if self.mode == "random":
+            key = (seg.flow_id, cell)
+            idx = self._random_idx.get(key)
+            if idx is None:
+                idx = self.rng.randrange(len(labels))
+                self._random_idx[key] = idx
+                # keep the memo bounded: old flowcells never come back
+                if len(self._random_idx) > 65536:
+                    self._random_idx.clear()
+        seg.dst_mac = labels[idx % len(labels)]
+        seg.flowcell_id = cell

@@ -1,0 +1,25 @@
+"""Workload generators for the paper's evaluation."""
+
+from repro.workloads.flows import EmpiricalDistribution
+from repro.workloads.synthetic import (
+    random_bijection_pairs,
+    random_pairs,
+    shuffle_workload,
+    stride_pairs,
+)
+from repro.workloads.tracedriven import (
+    KANDULA_FLOW_SIZES,
+    TraceWorkload,
+)
+from repro.workloads.northsouth import NorthSouthWorkload
+
+__all__ = [
+    "EmpiricalDistribution",
+    "stride_pairs",
+    "random_pairs",
+    "random_bijection_pairs",
+    "shuffle_workload",
+    "KANDULA_FLOW_SIZES",
+    "TraceWorkload",
+    "NorthSouthWorkload",
+]

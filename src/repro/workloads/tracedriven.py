@@ -1,0 +1,119 @@
+"""Trace-driven workload (paper S6, Table 1).
+
+The paper replays flow sizes and inter-arrival times measured by
+Kandula et al., "The Nature of Data Center Traffic" (IMC 2009), scaled
+by 10x, over long-lived all-to-all TCP connections: each server
+repeatedly samples a size + gap and sends to a random out-of-rack
+receiver.  The raw traces are proprietary, so we encode the published
+shape of the distribution — the overwhelming majority of flows are
+mice (<10 KB) while most *bytes* come from flows >1 MB — as an
+empirical CDF (see DESIGN.md substitution table).
+
+Mice are flows <100 KB, elephants >1 MB, as the paper defines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.units import KB, MB, msec, usec
+from repro.workloads.flows import EmpiricalDistribution
+
+#: Flow-size CDF encoding the IMC'09 measurement shape (80% of flows
+#: under ~10 KB; byte volume dominated by the >1 MB tail).
+KANDULA_FLOW_SIZES = EmpiricalDistribution(
+    [
+        (350, 0.0),
+        (1 * KB, 0.50),
+        (10 * KB, 0.80),
+        (100 * KB, 0.95),
+        (1 * MB, 0.99),
+        (10 * MB, 0.999),
+        (100 * MB, 1.0),
+    ]
+)
+
+#: Per-server flow inter-arrival CDF: median ~a few ms with a bursty
+#: short tail, per the paper's "continuously samples ... inter-arrival
+#: times" methodology.
+KANDULA_INTERARRIVALS_NS = EmpiricalDistribution(
+    [
+        (usec(100), 0.0),
+        (usec(800), 0.5),
+        (msec(3), 0.9),
+        (msec(10), 0.99),
+        (msec(100), 1.0),
+    ]
+)
+
+
+class TraceWorkload:
+    """Replays the empirical distributions on a testbed.
+
+    Each server loops: wait ~interarrival, pick a random receiver not in
+    its own rack, send a sampled-size transfer.  Completions are sorted
+    into mice (<100 KB) and elephants (>1 MB) FCT/throughput records.
+    """
+
+    MICE_LIMIT = 100 * KB
+    ELEPHANT_LIMIT = 1 * MB
+
+    def __init__(
+        self,
+        testbed,
+        rng: random.Random,
+        size_scale: float = 10.0,
+        load_scale: float = 1.0,
+        sizes: Optional[EmpiricalDistribution] = None,
+        interarrivals: Optional[EmpiricalDistribution] = None,
+        stop_ns: Optional[int] = None,
+        max_size: int = 20 * MB,
+    ):
+        self.tb = testbed
+        self.rng = rng
+        self.sizes = (sizes or KANDULA_FLOW_SIZES).scaled(size_scale)
+        self.interarrivals = interarrivals or KANDULA_INTERARRIVALS_NS
+        self.load_scale = load_scale
+        self.stop_ns = stop_ns
+        #: cap keeps single sampled transfers from outliving short runs
+        self.max_size = max_size
+        self.mice_fcts_ns: List[int] = []
+        self.elephant_records: List[Tuple[int, int]] = []  # (bytes, fct)
+        self.flows_started = 0
+
+    def start(self) -> None:
+        for src in range(len(self.tb.hosts)):
+            self.tb.sim.schedule(self._next_gap(), self._tick, src)
+
+    def _next_gap(self) -> int:
+        gap = self.interarrivals.sample(self.rng) / self.load_scale
+        return max(1, int(gap))
+
+    def _tick(self, src: int) -> None:
+        if self.stop_ns is not None and self.tb.sim.now >= self.stop_ns:
+            return
+        hosts_per_pod = self.tb.cfg.hosts_per_leaf
+        n = len(self.tb.hosts)
+        while True:
+            dst = self.rng.randrange(n)
+            if dst != src and dst // hosts_per_pod != src // hosts_per_pod:
+                break
+        size = min(self.max_size, max(350, int(self.sizes.sample(self.rng))))
+        self.flows_started += 1
+        self.tb.add_elephant(
+            src, dst, size_bytes=size,
+            on_complete=lambda app, size=size: self._done(app, size),
+        )
+        self.tb.sim.schedule(self._next_gap(), self._tick, src)
+
+    def _done(self, app, size: int) -> None:
+        fct = app.fct_ns if hasattr(app, "fct_ns") else None
+        if fct is None and hasattr(app, "sender"):
+            fct = app.sender.fct_ns
+        if fct is None:
+            return
+        if size < self.MICE_LIMIT:
+            self.mice_fcts_ns.append(fct)
+        elif size > self.ELEPHANT_LIMIT:
+            self.elephant_records.append((size, fct))

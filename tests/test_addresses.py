@@ -1,0 +1,69 @@
+"""Unit tests for MAC addressing / shadow-MAC labels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    host_mac,
+    is_shadow_mac,
+    mac_str,
+    shadow_mac,
+    shadow_mac_host,
+    shadow_mac_tree,
+)
+
+
+def test_host_mac_identity():
+    assert host_mac(5) == 5
+    assert not is_shadow_mac(host_mac(5))
+
+
+def test_shadow_mac_is_distinguishable():
+    mac = shadow_mac(0, 0)
+    assert is_shadow_mac(mac)
+
+
+def test_round_trip_fields():
+    mac = shadow_mac(3, 17)
+    assert shadow_mac_tree(mac) == 3
+    assert shadow_mac_host(mac) == 17
+
+
+def test_real_mac_host_recoverable():
+    assert shadow_mac_host(host_mac(9)) == 9
+
+
+def test_tree_on_real_mac_raises():
+    with pytest.raises(ValueError):
+        shadow_mac_tree(host_mac(1))
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        host_mac(-1)
+    with pytest.raises(ValueError):
+        shadow_mac(-1, 0)
+    with pytest.raises(ValueError):
+        shadow_mac(0, -1)
+
+
+def test_mac_str_renders():
+    assert mac_str(host_mac(2)) == "h00000002"
+    assert mac_str(shadow_mac(1, 2)) == "t1:h00000002"
+
+
+@given(tree=st.integers(0, 1000), host=st.integers(0, 2**32 - 1))
+def test_shadow_mac_round_trip_property(tree, host):
+    mac = shadow_mac(tree, host)
+    assert is_shadow_mac(mac)
+    assert shadow_mac_tree(mac) == tree
+    assert shadow_mac_host(mac) == host
+
+
+@given(
+    a=st.tuples(st.integers(0, 100), st.integers(0, 10_000)),
+    b=st.tuples(st.integers(0, 100), st.integers(0, 10_000)),
+)
+def test_shadow_macs_injective(a, b):
+    if a != b:
+        assert shadow_mac(*a) != shadow_mac(*b)

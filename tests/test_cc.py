@@ -1,0 +1,136 @@
+"""Unit tests for congestion controllers (Reno, CUBIC, coupled)."""
+
+import pytest
+
+from repro.host.cc import CubicCc, RenoCc, make_cc
+from repro.mptcp.coupled import CoupledCc, CoupledGroup
+from repro.units import msec, seconds, usec
+
+MSS = 1448
+
+
+class TestReno:
+    def test_initial_window(self):
+        cc = RenoCc(MSS, init_cwnd_pkts=10)
+        assert cc.cwnd == 10 * MSS
+        assert cc.in_slow_start()
+
+    def test_slow_start_doubles_per_window(self):
+        cc = RenoCc(MSS)
+        start = cc.cwnd
+        cc.on_ack(int(start), 0, usec(100))
+        assert cc.cwnd == 2 * start
+
+    def test_congestion_avoidance_one_mss_per_window(self):
+        cc = RenoCc(MSS)
+        cc.ssthresh = cc.cwnd  # leave slow start
+        w = cc.cwnd
+        acked = 0
+        while acked < w:  # one window's worth of ACKs
+            cc.on_ack(MSS, 0, usec(100))
+            acked += MSS
+        assert w + MSS <= cc.cwnd <= w + 2 * MSS
+
+    def test_recovery_halves(self):
+        cc = RenoCc(MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_enter_recovery(100 * MSS, 0)
+        assert cc.cwnd == pytest.approx(50 * MSS)
+
+    def test_timeout_collapses_to_one_mss(self):
+        cc = RenoCc(MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_timeout(100 * MSS, 0)
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == pytest.approx(50 * MSS)
+
+    def test_floor_two_mss(self):
+        cc = RenoCc(MSS)
+        cc.on_enter_recovery(MSS, 0)
+        assert cc.ssthresh == 2 * MSS
+
+
+class TestCubic:
+    def test_beta_reduction(self):
+        cc = CubicCc(MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_enter_recovery(100 * MSS, 0)
+        assert cc.cwnd == pytest.approx(70 * MSS)  # beta = 0.7
+
+    def test_growth_returns_toward_wmax(self):
+        cc = CubicCc(MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_enter_recovery(100 * MSS, 0)
+        w_after_cut = cc.cwnd
+        now = 0
+        for _ in range(4000):
+            now += usec(100)
+            cc.on_ack(MSS, now, usec(100))
+        assert cc.cwnd > w_after_cut
+
+    def test_growth_eventually_exceeds_wmax(self):
+        cc = CubicCc(MSS)
+        cc.cwnd = 30 * MSS
+        cc.on_enter_recovery(30 * MSS, 0)
+        now = 0
+        for _ in range(60_000):
+            now += usec(100)
+            cc.on_ack(MSS, now, usec(100))
+        assert cc.cwnd > 30 * MSS  # probed past the old maximum
+
+
+def test_make_cc_factory():
+    assert isinstance(make_cc("reno", MSS), RenoCc)
+    assert isinstance(make_cc("cubic", MSS), CubicCc)
+    with pytest.raises(ValueError):
+        make_cc("vegas", MSS)
+
+
+class TestCoupled:
+    def test_members_register(self):
+        group = CoupledGroup()
+        ccs = [CoupledCc(group, MSS) for _ in range(4)]
+        assert group.members == ccs
+
+    def test_loss_halves_only_one_subflow(self):
+        group = CoupledGroup()
+        a = CoupledCc(group, MSS)
+        b = CoupledCc(group, MSS)
+        a.cwnd = b.cwnd = 100 * MSS
+        a.on_enter_recovery(100 * MSS, 0)
+        assert a.cwnd == pytest.approx(50 * MSS)
+        assert b.cwnd == 100 * MSS
+
+    def test_coupled_increase_less_aggressive_than_reno(self):
+        """With N equal subflows, the aggregate grows like ~one Reno flow,
+        not N of them."""
+        group = CoupledGroup()
+        subflows = [CoupledCc(group, MSS) for _ in range(4)]
+        for cc in subflows:
+            cc.ssthresh = cc.cwnd = 50 * MSS
+            cc.last_rtt_ns = usec(100)
+        total_before = sum(c.cwnd for c in subflows)
+        for _ in range(50):
+            for cc in subflows:
+                cc.on_ack(MSS, 0, usec(100))
+        coupled_growth = sum(c.cwnd for c in subflows) - total_before
+
+        solo = RenoCc(MSS)
+        solo.ssthresh = solo.cwnd = 200 * MSS
+        for _ in range(200):
+            solo.on_ack(MSS, 0, usec(100))
+        reno_growth = solo.cwnd - 200 * MSS
+        assert coupled_growth <= 2.1 * reno_growth
+
+    def test_slow_start_uncoupled(self):
+        group = CoupledGroup()
+        cc = CoupledCc(group, MSS)
+        w = cc.cwnd
+        cc.on_ack(int(w), 0, usec(100))
+        assert cc.cwnd == 2 * w
+
+    def test_alpha_finite_with_fresh_members(self):
+        group = CoupledGroup()
+        for _ in range(8):
+            CoupledCc(group, MSS)
+        assert group.alpha() > 0

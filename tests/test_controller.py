@@ -1,0 +1,124 @@
+"""Unit tests for the Presto controller (schedules, weights, failover)."""
+
+from collections import Counter
+
+from repro.host.gro import PrestoGro
+from repro.host.host import Host
+from repro.net.addresses import host_mac, shadow_mac, shadow_mac_tree
+from repro.net.topology import build_clos, build_single_switch
+from repro.presto.controller import PrestoController, _interleave_schedule
+from repro.presto.vswitch import PrestoLb
+from repro.sim.engine import Simulator
+
+
+def build(n_spines=4, n_leaves=2, hosts_per_leaf=2):
+    sim = Simulator()
+    topo = build_clos(sim, n_spines, n_leaves)
+    hosts = []
+    for i in range(n_leaves * hosts_per_leaf):
+        host = Host(sim, i, lb=PrestoLb(i), gro=PrestoGro(), model_cpu=False)
+        topo.attach_host(host, topo.leaves[i // hosts_per_leaf])
+        hosts.append(host)
+    controller = PrestoController(topo)
+    for host in hosts:
+        controller.register_vswitch(host.lb)
+    return sim, topo, controller, hosts
+
+
+def test_schedule_covers_all_trees_when_healthy():
+    _, topo, controller, hosts = build()
+    schedule = controller.schedule_for(0, 2)
+    trees = {shadow_mac_tree(mac) for mac in schedule}
+    assert trees == {0, 1, 2, 3}
+    assert len(schedule) == 4  # equal weights -> one label each
+
+
+def test_same_leaf_pair_uses_direct_mac():
+    _, topo, controller, hosts = build()
+    assert controller.schedule_for(0, 1) == [host_mac(1)]
+
+
+def test_single_switch_schedules_direct():
+    sim = Simulator()
+    topo = build_single_switch(sim)
+    host0 = Host(sim, 0, lb=PrestoLb(0), model_cpu=False)
+    host1 = Host(sim, 1, lb=PrestoLb(1), model_cpu=False)
+    topo.attach_host(host0, topo.leaves[0])
+    topo.attach_host(host1, topo.leaves[0])
+    controller = PrestoController(topo)
+    assert controller.schedule_for(0, 1) == [host_mac(1)]
+
+
+def test_failure_prunes_tree_for_affected_pairs():
+    _, topo, controller, hosts = build()
+    link = next(l for l in topo.links if l.name == "L1--S1")
+    link.set_down()
+    schedule = controller.schedule_for(0, 2)  # L1 host -> L2 host
+    trees = {shadow_mac_tree(mac) for mac in schedule}
+    assert 0 not in trees  # tree through S1 pruned
+    assert trees == {1, 2, 3}
+    # reverse direction equally pruned
+    rev = controller.schedule_for(2, 0)
+    assert 0 not in {shadow_mac_tree(m) for m in rev}
+
+
+def test_failure_does_not_affect_unrelated_pairs():
+    sim, topo, controller, hosts = build(n_leaves=4, hosts_per_leaf=1)
+    link = next(l for l in topo.links if l.name == "L1--S1")
+    link.set_down()
+    # L2 -> L3 does not touch L1: all four trees usable
+    schedule = controller.schedule_for(1, 2)
+    assert {shadow_mac_tree(m) for m in schedule} == {0, 1, 2, 3}
+
+
+def test_push_all_updates_registered_vswitches():
+    _, topo, controller, hosts = build()
+    link = next(l for l in topo.links if l.name == "L1--S1")
+    link.set_down()
+    controller.push_all()
+    labels = hosts[0].lb.labels_for(2)
+    assert all(shadow_mac_tree(m) != 0 for m in labels)
+
+
+def test_weighted_schedule_duplicates_labels():
+    """Halving one leg's rate should weight other trees 2x."""
+    _, topo, controller, hosts = build()
+    port = topo.port_between(topo.leaves[0], topo.spines[0])
+    port.link.rate_bps = port.link.rate_bps / 2
+    schedule = controller.schedule_for(0, 2)
+    counts = Counter(shadow_mac_tree(m) for m in schedule)
+    assert counts[0] == 1
+    assert counts[1] == counts[2] == counts[3] == 2
+
+
+def test_interleave_spreads_duplicates():
+    a, b, c = 11, 22, 33
+    out = _interleave_schedule([a, b, b, c])
+    # the two b's must not be adjacent (cyclically this layout is fine)
+    idx = [i for i, x in enumerate(out) if x == b]
+    assert abs(idx[0] - idx[1]) > 1
+
+
+def test_fast_failover_configures_leaves_and_spines():
+    _, topo, controller, hosts = build()
+    controller.enable_fast_failover(latency_ns=0)
+    for leaf in topo.leaves:
+        assert leaf.failover is not None
+    for spine in topo.spines:
+        assert spine.failover is not None
+
+
+def test_spine_failover_rewrite_moves_tree():
+    sim, topo, controller, hosts = build()
+    controller.enable_fast_failover(latency_ns=0)
+    link = next(l for l in topo.links if l.name == "L1--S1")
+    link.set_down()
+    # a tree-0 labelled packet destined to host 0 (on L1), arriving at S1,
+    # must be relabelled and still reach host 0
+    from repro.net.packet import Packet
+
+    pkt = Packet(flow_id=1, src_host=2, dst_host=0, dst_mac=shadow_mac(0, 0),
+                 kind="data", seq=0, payload_len=100, flowcell_id=1)
+    topo.leaves[1].receive(pkt, None)  # send from L2 up tree 0
+    sim.run()
+    assert hosts[0].nic.rx_pkts == 1

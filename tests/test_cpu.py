@@ -1,0 +1,82 @@
+"""Unit tests for the receiver CPU model."""
+
+import pytest
+
+from repro.host.cpu import CpuCosts, ReceiverCpu
+from repro.sim.engine import Simulator
+from repro.units import usec
+
+
+def test_costs_segment_push():
+    costs = CpuCosts(per_segment_ns=1000, per_byte_ns=0.5)
+    assert costs.segment_push_cost(2000) == 2000.0
+
+
+def test_consume_serializes_work():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    done1 = cpu.consume(1000)
+    done2 = cpu.consume(500)
+    assert done1 == 1000
+    assert done2 == 1500  # queued behind the first chunk
+
+
+def test_free_at_after_idle_gap():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    cpu.consume(100)
+    sim.schedule(usec(10), lambda: None)
+    sim.run()
+    assert cpu.free_at() == sim.now  # idle: free immediately
+
+
+def test_zero_cost_noop():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    before = cpu.busy_ns_total
+    cpu.consume(0)
+    assert cpu.busy_ns_total == before
+
+
+def test_utilization_fully_busy():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    # 10 work chunks of 10us back-to-back over 100us
+    for i in range(10):
+        sim.schedule(i * usec(10), cpu.consume, usec(10))
+        sim.schedule(i * usec(10), cpu.checkpoint)
+    sim.schedule(usec(100), cpu.checkpoint)
+    sim.run()
+    assert cpu.utilization(0, usec(100)) == pytest.approx(1.0, abs=0.05)
+
+
+def test_utilization_half_busy():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    for i in range(10):
+        sim.schedule(i * usec(10), cpu.consume, usec(5))
+        sim.schedule(i * usec(10), cpu.checkpoint)
+    sim.schedule(usec(100), cpu.checkpoint)
+    sim.run()
+    assert cpu.utilization(0, usec(100)) == pytest.approx(0.5, abs=0.1)
+
+
+def test_utilization_series_windows():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    # busy only in the first 50us
+    for i in range(5):
+        sim.schedule(i * usec(10), cpu.consume, usec(10))
+        sim.schedule(i * usec(10), cpu.checkpoint)
+    sim.schedule(usec(100), cpu.checkpoint)
+    sim.run()
+    series = cpu.utilization_series(usec(50))
+    assert len(series) == 2
+    assert series[0][1] > 0.8
+    assert series[1][1] < 0.2
+
+
+def test_utilization_empty_window():
+    sim = Simulator()
+    cpu = ReceiverCpu(sim)
+    assert cpu.utilization(10, 10) == 0.0

@@ -1,0 +1,133 @@
+"""Unit + property tests for flowcell creation (paper Algorithm 1)."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.presto.flowcell import FLOWCELL_BYTES, FlowcellTagger
+from repro.presto.vswitch import PrestoLb
+from repro.net.packet import Segment
+
+
+def test_first_segment_starts_cell_one():
+    tagger = FlowcellTagger()
+    idx, cell = tagger.tag(1, 1448, 4)
+    assert (idx, cell) == (0, 1)
+
+
+def test_rotation_at_threshold():
+    tagger = FlowcellTagger(threshold=10_000)
+    idx, cell = tagger.tag(1, 6_000, 4)
+    assert (idx, cell) == (0, 1)
+    # 6000 + 6000 > 10000 -> rotate
+    idx, cell = tagger.tag(1, 6_000, 4)
+    assert (idx, cell) == (1, 2)
+
+
+def test_exact_threshold_does_not_rotate():
+    tagger = FlowcellTagger(threshold=10_000)
+    assert tagger.tag(1, 10_000, 4) == (0, 1)
+    # next byte rotates
+    assert tagger.tag(1, 1, 4) == (1, 2)
+
+
+def test_round_robin_wraps():
+    tagger = FlowcellTagger(threshold=100)
+    seen = [tagger.tag(1, 100, 3)[0]]
+    for _ in range(5):
+        seen.append(tagger.tag(1, 100, 3)[0])
+    assert seen == [0, 1, 2, 0, 1, 2]
+
+
+def test_flows_are_independent():
+    tagger = FlowcellTagger(threshold=100)
+    tagger.tag(1, 100, 4)
+    tagger.tag(1, 100, 4)  # flow 1 now on idx 1
+    assert tagger.tag(2, 50, 4) == (0, 1)
+
+
+def test_default_threshold_is_64kb():
+    assert FLOWCELL_BYTES == 64 * 1024
+
+
+def test_zero_labels_rejected():
+    with pytest.raises(ValueError):
+        FlowcellTagger().tag(1, 10, 0)
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(ValueError):
+        FlowcellTagger(threshold=0)
+
+
+def test_initial_index_fn():
+    tagger = FlowcellTagger(threshold=100)
+    tagger.set_initial_index_fn(lambda flow_id: flow_id * 7)
+    idx, _ = tagger.tag(2, 10, 4)
+    assert idx == (2 * 7) % 4
+
+
+@given(
+    lens=st.lists(st.integers(1, FLOWCELL_BYTES), min_size=1, max_size=200),
+    n_labels=st.integers(1, 8),
+)
+def test_flowcells_bounded_and_ids_monotone(lens, n_labels):
+    """Every flowcell carries at most 64 KB, IDs only ever step by one,
+    and consecutive cells land on consecutive labels (round robin)."""
+    tagger = FlowcellTagger()
+    cell_bytes = {}
+    prev_cell = 0
+    prev_idx = None
+    for seg_len in lens:
+        idx, cell = tagger.tag(9, seg_len, n_labels)
+        assert cell in (prev_cell, prev_cell + 1)
+        if cell == prev_cell + 1 and prev_idx is not None:
+            assert idx == (prev_idx + 1) % n_labels
+        prev_cell, prev_idx = cell, idx
+        cell_bytes[cell] = cell_bytes.get(cell, 0) + seg_len
+    for cell, total in cell_bytes.items():
+        assert total <= FLOWCELL_BYTES or cell_bytes.get(cell - 1) is None and total == lens[0]
+
+
+@given(lens=st.lists(st.integers(1, 1448), min_size=1, max_size=300))
+def test_bytes_partition_preserved(lens):
+    """The tagger never drops or duplicates bytes: the sum over cells
+    equals the input."""
+    tagger = FlowcellTagger()
+    total_in = 0
+    per_cell = {}
+    for seg_len in lens:
+        _, cell = tagger.tag(5, seg_len, 4)
+        total_in += seg_len
+        per_cell[cell] = per_cell.get(cell, 0) + seg_len
+    assert sum(per_cell.values()) == total_in
+
+
+def _segment(flow_id, seq, size, dst=3):
+    return Segment(flow_id=flow_id, src_host=0, dst_host=dst,
+                   seq=seq, end_seq=seq + size)
+
+
+def test_presto_lb_assigns_labels_and_cells():
+    lb = PrestoLb(0)
+    lb.set_schedule(3, [101, 102, 103, 104])
+    seg = _segment(1, 0, 64 * 1024)
+    lb.select(seg)
+    first_mac, first_cell = seg.dst_mac, seg.flowcell_id
+    assert first_mac in (101, 102, 103, 104)
+    assert first_cell == 1
+    seg2 = _segment(1, 64 * 1024, 64 * 1024)
+    lb.select(seg2)
+    assert seg2.flowcell_id == 2
+    assert seg2.dst_mac != first_mac
+
+
+def test_presto_lb_acks_stay_on_one_label():
+    lb = PrestoLb(0)
+    lb.set_schedule(3, [101, 102])
+    macs = set()
+    for _ in range(10):
+        ack = _segment(7, 0, 0)
+        lb.select(ack)
+        macs.add(ack.dst_mac)
+    assert len(macs) == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the experiment harness (Testbed construction)."""
+
+import pytest
+
+from repro.experiments.harness import SCHEMES, Testbed, TestbedConfig, format_table
+from repro.host.gro import OfficialGro, PrestoGro
+from repro.lb.ecmp import EcmpLb
+from repro.lb.flowlet import FlowletLb
+from repro.lb.perpacket import PerPacketLb
+from repro.lb.presto_ecmp import PrestoEcmpLb
+from repro.net.switch import HASH_FLOW, HASH_FLOWCELL
+from repro.presto.vswitch import PrestoLb
+from repro.units import KB, msec, usec
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        Testbed(TestbedConfig(scheme="magic"))
+
+
+def test_all_schemes_construct():
+    for scheme in SCHEMES:
+        tb = Testbed(TestbedConfig(scheme=scheme, n_spines=2, n_leaves=2,
+                                   hosts_per_leaf=1))
+        assert len(tb.hosts) == 2
+
+
+def test_scheme_lb_types():
+    expected = {
+        "presto": PrestoLb,
+        "presto_ecmp": PrestoEcmpLb,
+        "ecmp": EcmpLb,
+        "mptcp": EcmpLb,
+        "flowlet100us": FlowletLb,
+        "flowlet500us": FlowletLb,
+        "perpacket": PerPacketLb,
+    }
+    for scheme, lb_type in expected.items():
+        tb = Testbed(TestbedConfig(scheme=scheme, n_spines=2, n_leaves=2,
+                                   hosts_per_leaf=1))
+        assert type(tb.hosts[0].lb) is lb_type
+
+
+def test_scheme_default_gro():
+    presto = Testbed(TestbedConfig(scheme="presto", n_spines=2, n_leaves=2,
+                                   hosts_per_leaf=1))
+    assert isinstance(presto.hosts[0].gro, PrestoGro)
+    ecmp = Testbed(TestbedConfig(scheme="ecmp", n_spines=2, n_leaves=2,
+                                 hosts_per_leaf=1))
+    assert isinstance(ecmp.hosts[0].gro, OfficialGro)
+
+
+def test_gro_override():
+    tb = Testbed(TestbedConfig(scheme="presto", gro_override="official",
+                               n_spines=2, n_leaves=2, hosts_per_leaf=1))
+    assert isinstance(tb.hosts[0].gro, OfficialGro)
+
+
+def test_flowlet_gap_configured():
+    tb100 = Testbed(TestbedConfig(scheme="flowlet100us", n_spines=2,
+                                  n_leaves=2, hosts_per_leaf=1))
+    tb500 = Testbed(TestbedConfig(scheme="flowlet500us", n_spines=2,
+                                  n_leaves=2, hosts_per_leaf=1))
+    assert tb100.hosts[0].lb.gap_ns == usec(100)
+    assert tb500.hosts[0].lb.gap_ns == usec(500)
+
+
+def test_optimal_is_single_switch():
+    tb = Testbed(TestbedConfig(scheme="optimal"))
+    assert len(tb.topo.switches) == 1
+    assert len(tb.hosts) == 16
+
+
+def test_presto_ecmp_underlay_hash_mode():
+    tb = Testbed(TestbedConfig(scheme="presto_ecmp", n_spines=2, n_leaves=2,
+                               hosts_per_leaf=1))
+    assert tb.topo.leaves[0].ecmp_default.mode == HASH_FLOWCELL
+    tb2 = Testbed(TestbedConfig(scheme="ecmp", n_spines=2, n_leaves=2,
+                                hosts_per_leaf=1))
+    assert tb2.topo.leaves[0].ecmp_default.mode == HASH_FLOW
+
+
+def test_presto_schedules_pushed():
+    tb = Testbed(TestbedConfig(scheme="presto", n_spines=4, n_leaves=2,
+                               hosts_per_leaf=2))
+    labels = tb.hosts[0].lb.labels_for(2)  # cross-leaf destination
+    assert len(labels) == 4
+
+
+def test_ablation_knobs_propagate():
+    tb = Testbed(TestbedConfig(scheme="presto", flowcell_bytes=16 * KB,
+                               presto_mode="random", gro_adaptive=False,
+                               n_spines=2, n_leaves=2, hosts_per_leaf=1))
+    assert tb.hosts[0].lb.tagger.threshold == 16 * KB
+    assert tb.hosts[0].lb.mode == "random"
+    assert tb.hosts[0].gro.adaptive is False
+
+
+def test_experiment_tcp_rto_scaled():
+    tb = Testbed(TestbedConfig(scheme="presto", n_spines=2, n_leaves=2,
+                               hosts_per_leaf=1))
+    assert tb.cfg.tcp.min_rto_ns == msec(20)
+
+
+def test_format_table():
+    text = format_table(["a", "bb"], [[1, 2], ["x", "yy"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_reproducibility_same_seed_same_result():
+    def run():
+        tb = Testbed(TestbedConfig(scheme="presto", n_spines=2, n_leaves=2,
+                                   hosts_per_leaf=2, seed=9))
+        app = tb.add_elephant(0, 2)
+        tb.run(msec(5))
+        return app.delivered_bytes()
+
+    assert run() == run()
+
+
+def test_different_seed_different_hash_choices():
+    def labels(seed):
+        tb = Testbed(TestbedConfig(scheme="ecmp", seed=seed))
+        app = tb.add_elephant(0, 8)
+        tb.run(msec(1))
+        seg_macs = set()
+        sender = tb.hosts[0].senders[app.flow_id]
+        return tb.hosts[0].lb._choice.get(app.flow_id)
+
+    picks = {labels(s) for s in range(8)}
+    assert len(picks) > 1

@@ -1,0 +1,80 @@
+"""Unit tests for the Host wiring (passive open, ACK routing, taps)."""
+
+import pytest
+
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.units import KB, msec
+
+
+def mini():
+    return Testbed(TestbedConfig(scheme="optimal", n_leaves=1,
+                                 hosts_per_leaf=2, model_cpu=False))
+
+
+def test_passive_open_creates_receiver():
+    tb = mini()
+    app = tb.add_elephant(0, 1, size_bytes=64 * KB)
+    tb.run(msec(10))
+    assert app.flow_id in tb.hosts[1].receivers
+    assert tb.hosts[1].receivers[app.flow_id].peer_host == 0
+
+
+def test_ack_routed_to_sender():
+    tb = mini()
+    app = tb.add_elephant(0, 1, size_bytes=64 * KB)
+    tb.run(msec(10))
+    sender = tb.hosts[0].senders[app.flow_id]
+    assert sender.snd_una == 64 * KB  # ACKs made it back
+
+
+def test_duplicate_flow_id_rejected():
+    tb = mini()
+    tb.hosts[0].open_sender(5, 1)
+    with pytest.raises(ValueError):
+        tb.hosts[0].open_sender(5, 1)
+
+
+def test_expect_flow_callback():
+    tb = mini()
+    deliveries = []
+    flow_id = tb.flow_ids.next()
+    tb.hosts[1].expect_flow(flow_id, deliveries.append)
+    sender = tb.hosts[0].open_sender(flow_id, 1)
+    sender.write(10 * KB)
+    tb.run(msec(10))
+    assert deliveries
+    assert deliveries[-1] == 10 * KB
+
+
+def test_expect_flow_after_data_started():
+    """Registering the callback late attaches it to the live receiver."""
+    tb = mini()
+    flow_id = tb.flow_ids.next()
+    sender = tb.hosts[0].open_sender(flow_id, 1)
+    sender.set_unbounded()
+    tb.run(msec(1))
+    seen = []
+    tb.hosts[1].expect_flow(flow_id, seen.append)
+    tb.run(msec(2))
+    assert seen
+
+
+def test_segment_tap_sees_data():
+    tb = mini()
+    taps = []
+    tb.hosts[1].segment_tap = taps.append
+    tb.add_elephant(0, 1, size_bytes=64 * KB)
+    tb.run(msec(10))
+    assert taps
+    assert sum(s.payload_len for s in taps) >= 64 * KB
+
+
+def test_tx_tap_sees_labelled_segments():
+    tb = mini()
+    taps = []
+    tb.hosts[0].tx_tap = taps.append
+    tb.add_elephant(0, 1, size_bytes=64 * KB)
+    tb.run(msec(10))
+    data = [s for s in taps if s.kind == "data"]
+    assert data
+    assert all(s.dst_mac != 0 or s.dst_host == 0 for s in data)

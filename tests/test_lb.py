@@ -1,0 +1,156 @@
+"""Unit tests for the edge load-balancer schemes."""
+
+import random
+
+import pytest
+
+from repro.lb.base import LoadBalancer
+from repro.lb.ecmp import EcmpLb
+from repro.lb.flowlet import FlowletLb
+from repro.lb.perpacket import PerPacketLb
+from repro.lb.presto_ecmp import PrestoEcmpLb
+from repro.net.addresses import host_mac
+from repro.net.packet import Packet, Segment
+from repro.presto.vswitch import PrestoLb
+from repro.sim.engine import Simulator
+from repro.units import KB, usec
+
+LABELS = [1001, 1002, 1003, 1004]
+
+
+def seg(flow=1, size=10 * KB, dst=3):
+    return Segment(flow_id=flow, src_host=0, dst_host=dst,
+                   seq=0, end_seq=size)
+
+
+def test_base_defaults_to_real_mac():
+    lb = LoadBalancer(0)
+    s = seg(dst=5)
+    lb.select(s)
+    assert s.dst_mac == host_mac(5)
+
+
+def test_base_schedule_validation():
+    lb = LoadBalancer(0)
+    with pytest.raises(ValueError):
+        lb.set_schedule(3, [])
+
+
+class TestEcmp:
+    def test_sticky_per_flow(self):
+        lb = EcmpLb(0, random.Random(1))
+        lb.set_schedule(3, LABELS)
+        macs = set()
+        for _ in range(20):
+            s = seg(flow=7)
+            lb.select(s)
+            macs.add(s.dst_mac)
+        assert len(macs) == 1
+
+    def test_different_flows_spread(self):
+        lb = EcmpLb(0, random.Random(1))
+        lb.set_schedule(3, LABELS)
+        macs = set()
+        for flow in range(100):
+            s = seg(flow=flow)
+            lb.select(s)
+            macs.add(s.dst_mac)
+        assert macs == set(LABELS)
+
+
+class TestFlowlet:
+    def test_no_gap_no_switch(self):
+        sim = Simulator()
+        lb = FlowletLb(0, sim, gap_ns=usec(500), rng=random.Random(1))
+        lb.set_schedule(3, LABELS)
+        macs = set()
+        for _ in range(10):
+            s = seg()
+            lb.select(s)
+            macs.add(s.dst_mac)
+        assert len(macs) == 1
+
+    def test_gap_switches_path_and_bumps_id(self):
+        sim = Simulator()
+        lb = FlowletLb(0, sim, gap_ns=usec(500), rng=random.Random(1))
+        lb.set_schedule(3, LABELS)
+        s1 = seg()
+        lb.select(s1)
+        sim.schedule(usec(600), lambda: None)
+        sim.run()
+        s2 = seg()
+        lb.select(s2)
+        assert s2.dst_mac != s1.dst_mac
+        assert s2.flowcell_id == s1.flowcell_id + 1
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(ValueError):
+            FlowletLb(0, Simulator(), gap_ns=0)
+
+
+class TestPerPacket:
+    def test_labeler_rotates_every_packet(self):
+        lb = PerPacketLb(0, random.Random(1))
+        lb.set_schedule(3, LABELS)
+        label = lb.packet_labeler()
+        macs = []
+        for i in range(8):
+            p = Packet(flow_id=1, src_host=0, dst_host=3, dst_mac=0,
+                       kind="data", seq=i * 1448, payload_len=1448,
+                       flowcell_id=0)
+            label(p)
+            macs.append(p.dst_mac)
+        # consecutive packets never repeat a path
+        assert all(a != b for a, b in zip(macs, macs[1:]))
+
+
+class TestPrestoEcmp:
+    def test_keeps_real_mac_but_stamps_cells(self):
+        lb = PrestoEcmpLb(0, random.Random(1))
+        lb.set_schedule(3, LABELS)
+        s1 = seg(size=64 * KB)
+        lb.select(s1)
+        s2 = seg(size=64 * KB)
+        lb.select(s2)
+        assert s1.dst_mac == host_mac(3)
+        assert s2.flowcell_id == s1.flowcell_id + 1
+
+
+class TestPrestoModes:
+    def test_rr_walks_schedule_in_order(self):
+        lb = PrestoLb(0, random.Random(1))
+        lb.set_schedule(3, LABELS)
+        macs = []
+        for _ in range(8):
+            s = seg(size=64 * KB)
+            lb.select(s)
+            macs.append(s.dst_mac)
+        # strict rotation: every window of 4 covers all labels
+        assert set(macs[:4]) == set(LABELS)
+        assert macs[:4] == macs[4:8]
+
+    def test_random_mode_stable_within_cell(self):
+        lb = PrestoLb(0, random.Random(1), mode="random")
+        lb.set_schedule(3, LABELS)
+        s1 = seg(size=10 * KB)
+        s2 = seg(size=10 * KB)
+        lb.select(s1)
+        lb.select(s2)
+        assert s1.flowcell_id == s2.flowcell_id
+        assert s1.dst_mac == s2.dst_mac  # same cell -> same label
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PrestoLb(0, mode="zigzag")
+
+    def test_weighted_schedule_respected(self):
+        """Duplicated labels get proportionally more flowcells."""
+        lb = PrestoLb(0, random.Random(1))
+        lb.set_schedule(3, [1001, 1002, 1001, 1003])  # 1001 weighted 2x
+        from collections import Counter
+        counts = Counter()
+        for _ in range(40):
+            s = seg(size=64 * KB)
+            lb.select(s)
+            counts[s.dst_mac] += 1
+        assert counts[1001] == 2 * counts[1002] == 2 * counts[1003]

@@ -1,0 +1,116 @@
+"""Unit + property tests for metrics (stats, collectors, reordering)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.reordering import ReorderTracker
+from repro.metrics.stats import cdf_points, ewma, jain_fairness, mean, percentile
+from repro.net.packet import Segment
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_endpoints(self):
+        data = [10, 20, 30]
+        assert percentile(data, 0) == 10
+        assert percentile(data, 100) == 30
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_pct_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100),
+           st.floats(0, 100))
+    def test_within_range(self, data, pct):
+        value = percentile(data, pct)
+        tol = 1e-6 * max(1.0, max(data))  # interpolation float slack
+        assert min(data) - tol <= value <= max(data) + tol
+
+    @given(st.lists(st.floats(0, 1e9), min_size=2, max_size=50))
+    def test_monotone_in_pct(self, data):
+        assert percentile(data, 25) <= percentile(data, 75)
+
+
+class TestJain:
+    def test_perfect(self):
+        assert jain_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jain_fairness([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_is_one(self):
+        assert jain_fairness([]) == 1.0
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=32))
+    def test_bounds(self, rates):
+        index = jain_fairness(rates)
+        assert 0 <= index <= 1.0 + 1e-9
+
+
+def test_mean_empty():
+    assert mean([]) == 0.0
+
+
+def test_cdf_points():
+    pts = cdf_points([3, 1, 2])
+    assert pts == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+
+def test_ewma():
+    assert ewma([10], 0.5) == 10
+    assert ewma([10, 20], 0.5) == 15
+    with pytest.raises(ValueError):
+        ewma([], 0.5)
+    with pytest.raises(ValueError):
+        ewma([1], 0)
+
+
+def seg(flow, cell, size=1000):
+    return Segment(flow_id=flow, src_host=0, dst_host=1,
+                   seq=0, end_seq=size, flowcell_id=cell)
+
+
+class TestReorderTracker:
+    def test_in_order_cells_have_zero_counts(self):
+        tracker = ReorderTracker()
+        for cell in (1, 1, 2, 2, 3):
+            tracker.observe(seg(1, cell))
+        assert tracker.out_of_order_counts() == [0, 0, 0]
+
+    def test_interleaving_counted(self):
+        tracker = ReorderTracker()
+        # cell 1's segments sandwich two cell-2 segments
+        for cell in (1, 2, 2, 1):
+            tracker.observe(seg(1, cell))
+        counts = dict(zip([1, 2], tracker.out_of_order_counts()))
+        assert counts[1] == 2
+        assert counts[2] == 0
+
+    def test_flows_tracked_separately(self):
+        tracker = ReorderTracker()
+        tracker.observe(seg(1, 1))
+        tracker.observe(seg(2, 9))
+        tracker.observe(seg(1, 1))
+        assert tracker.out_of_order_counts(flow_id=1) == [0]
+
+    def test_segment_sizes(self):
+        tracker = ReorderTracker()
+        tracker.observe(seg(1, 1, size=500))
+        tracker.observe(seg(1, 1, size=700))
+        assert sorted(tracker.segment_sizes()) == [500, 700]
+
+    def test_truncation(self):
+        tracker = ReorderTracker(max_samples=3)
+        for i in range(10):
+            tracker.observe(seg(1, i))
+        assert tracker.truncated
+        assert len(tracker.segment_sizes()) == 3

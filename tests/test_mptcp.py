@@ -1,0 +1,91 @@
+"""Unit tests for the MPTCP model."""
+
+import pytest
+
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.mptcp.mptcp import MptcpConnection
+from repro.units import KB, MB, msec
+
+
+def mini(paths=2, hosts_per_leaf=1):
+    return Testbed(
+        TestbedConfig(scheme="mptcp", n_spines=paths, n_leaves=2,
+                      hosts_per_leaf=hosts_per_leaf, model_cpu=False)
+    )
+
+
+def test_subflow_count():
+    tb = mini()
+    conn = tb.add_elephant(0, 1)
+    assert len(conn.subflow_ids) == tb.cfg.mptcp_subflows
+    assert len(set(conn.subflow_ids)) == tb.cfg.mptcp_subflows
+
+
+def test_sized_transfer_partitioned_and_completes():
+    tb = mini()
+    conn = tb.add_elephant(0, 1, size_bytes=800 * KB)
+    tb.run(msec(50))
+    assert conn.fct_ns is not None
+    assert conn.delivered_bytes() == 800 * KB
+    # every subflow carried its share
+    sizes = [
+        tb.hosts[1].receivers[f].delivered_bytes
+        for f in conn.subflow_ids
+        if f in tb.hosts[1].receivers
+    ]
+    assert sum(sizes) == 800 * KB
+
+
+def test_uneven_size_remainder_to_first():
+    tb = mini()
+    conn = tb.add_elephant(0, 1, size_bytes=100 * KB + 3)
+    tb.run(msec(50))
+    assert conn.delivered_bytes() == 100 * KB + 3
+
+
+def test_unbounded_uses_all_paths():
+    tb = mini(paths=4)
+    conn = tb.add_elephant(0, 1)
+    tb.run(msec(10))
+    rate = conn.delivered_bytes() * 8 / 10e-3 / 1e9
+    assert rate > 8.0  # aggregates to ~line rate over 4 paths
+
+
+def test_subflow_rwnd_is_shared_fraction():
+    tb = mini()
+    conn = tb.add_elephant(0, 1)
+    tb.run(msec(1))
+    sender = tb.hosts[0].senders[conn.subflow_ids[0]]
+    assert sender.cfg.rcv_wnd == tb.cfg.tcp.rcv_wnd // tb.cfg.mptcp_subflows
+
+
+def test_coupled_group_shared():
+    tb = mini()
+    conn = tb.add_elephant(0, 1)
+    tb.run(msec(1))
+    ccs = [tb.hosts[0].senders[f].cc for f in conn.subflow_ids]
+    assert all(cc.group is conn.group for cc in ccs)
+
+
+def test_zero_subflows_rejected():
+    tb = mini()
+    with pytest.raises(ValueError):
+        MptcpConnection(tb.sim, tb.hosts[0], tb.hosts[1], tb.flow_ids,
+                        n_subflows=0)
+
+
+def test_completion_callback_once():
+    tb = mini()
+    done = []
+    tb.add_elephant(0, 1, size_bytes=200 * KB, on_complete=done.append)
+    tb.run(msec(50))
+    assert len(done) == 1
+
+
+def test_timeout_counter_aggregates():
+    tb = mini()
+    conn = tb.add_elephant(0, 1, size_bytes=1 * MB)
+    tb.run(msec(50))
+    assert conn.timeouts() == sum(
+        tb.hosts[0].senders[f].timeouts for f in conn.subflow_ids
+    )

@@ -1,0 +1,69 @@
+"""Unit tests for Packet / Segment and GRO-style merging."""
+
+from repro.net.packet import ACK, DATA, Packet, Segment, make_ack
+from repro.units import HEADER_BYTES
+
+
+def pkt(seq, size=1448, cell=1, flow=1, kind=DATA, retx=False):
+    return Packet(
+        flow_id=flow, src_host=0, dst_host=1, dst_mac=1, kind=kind,
+        seq=seq, payload_len=size, flowcell_id=cell, is_retx=retx,
+    )
+
+
+def test_packet_ranges_and_size():
+    p = pkt(1000, size=500)
+    assert p.end_seq == 1500
+    assert p.wire_size == 500 + HEADER_BYTES
+
+
+def test_segment_from_packet():
+    seg = Segment.from_packet(pkt(100, size=200, cell=7))
+    assert (seg.seq, seg.end_seq) == (100, 300)
+    assert seg.pkt_count == 1
+    assert seg.flowcell_id == 7
+
+
+def test_tail_merge():
+    seg = Segment.from_packet(pkt(0))
+    assert seg.try_merge(pkt(1448), require_same_flowcell=True)
+    assert seg.end_seq == 2896
+    assert seg.pkt_count == 2
+
+
+def test_head_merge():
+    seg = Segment.from_packet(pkt(1448))
+    assert seg.try_merge(pkt(0), require_same_flowcell=True)
+    assert seg.seq == 0
+
+
+def test_non_contiguous_rejected():
+    seg = Segment.from_packet(pkt(0))
+    assert not seg.try_merge(pkt(2896), require_same_flowcell=True)
+
+
+def test_cross_flowcell_merge_controlled_by_flag():
+    seg = Segment.from_packet(pkt(0, cell=1))
+    other_cell = pkt(1448, cell=2)
+    assert not seg.try_merge(other_cell, require_same_flowcell=True)
+    assert seg.try_merge(other_cell, require_same_flowcell=False)
+
+
+def test_cross_flow_merge_rejected():
+    seg = Segment.from_packet(pkt(0, flow=1))
+    assert not seg.try_merge(pkt(1448, flow=2), require_same_flowcell=False)
+
+
+def test_retx_does_not_merge_with_original():
+    seg = Segment.from_packet(pkt(0))
+    assert not seg.try_merge(pkt(1448, retx=True), require_same_flowcell=False)
+
+
+def test_make_ack():
+    ack = make_ack(5, src_host=1, dst_host=0, ack_seq=4096,
+                   sack=((5000, 6000),), ts_echo=123)
+    assert ack.kind == ACK
+    assert ack.payload_len == 0
+    assert ack.ack_seq == 4096
+    assert ack.sack == ((5000, 6000),)
+    assert ack.ts_echo == 123

@@ -1,0 +1,87 @@
+"""Unit tests for spanning-tree allocation and label routing."""
+
+from repro.host.gro import OfficialGro
+from repro.host.host import Host
+from repro.net.addresses import shadow_mac
+from repro.net.routing import (
+    allocate_spanning_trees,
+    enumerate_paths,
+    install_tree_routes,
+)
+from repro.net.topology import build_clos, build_single_switch
+from repro.sim.engine import Simulator
+
+
+def build(n_spines=4, n_leaves=2, hosts_per_leaf=2):
+    sim = Simulator()
+    topo = build_clos(sim, n_spines, n_leaves)
+    for i in range(n_leaves * hosts_per_leaf):
+        host = Host(sim, i, gro=OfficialGro(), model_cpu=False)
+        topo.attach_host(host, topo.leaves[i // hosts_per_leaf])
+    return sim, topo
+
+
+def test_one_tree_per_spine():
+    _, topo = build(n_spines=4)
+    trees = allocate_spanning_trees(topo)
+    assert len(trees) == 4
+    assert {t.spine.name for t in trees} == {"S1", "S2", "S3", "S4"}
+    assert [t.tree_id for t in trees] == [0, 1, 2, 3]
+
+
+def test_single_switch_degenerate_tree():
+    sim = Simulator()
+    topo = build_single_switch(sim)
+    trees = allocate_spanning_trees(topo)
+    assert len(trees) == 1
+
+
+def test_install_tree_routes_complete():
+    _, topo = build(n_spines=2, n_leaves=2, hosts_per_leaf=2)
+    trees = allocate_spanning_trees(topo)
+    install_tree_routes(topo, trees)
+    for tree in trees:
+        for host_id, leaf in topo.host_leaf.items():
+            label = shadow_mac(tree.tree_id, host_id)
+            # destination leaf delivers to the host port
+            assert leaf.l2_table[label] is topo.host_port[host_id]
+            # every spine can route the label down (failover support)
+            for spine in topo.spines:
+                assert label in spine.l2_table
+            # other leaves route up to the tree's spine
+            for other in topo.leaves:
+                if other is leaf:
+                    continue
+                up = other.l2_table[label]
+                assert up.peer is tree.spine
+
+
+def test_label_path_uses_only_its_tree_spine():
+    """End-to-end: a labelled packet crosses exactly its tree's spine."""
+    sim, topo = build(n_spines=4, n_leaves=2, hosts_per_leaf=1)
+    trees = allocate_spanning_trees(topo)
+    install_tree_routes(topo, trees)
+    from repro.net.packet import Packet
+
+    for tree in trees:
+        label = shadow_mac(tree.tree_id, 1)  # host 1 on leaf 2
+        pkt = Packet(flow_id=1, src_host=0, dst_host=1, dst_mac=label,
+                     kind="data", seq=0, payload_len=100, flowcell_id=1)
+        before = {s.name: s.rx_pkts for s in topo.spines}
+        topo.leaves[0].receive(pkt, None)
+        sim.run()
+        for spine in topo.spines:
+            expected = 1 if spine is tree.spine else 0
+            assert spine.rx_pkts - before[spine.name] == expected
+        # and the host got it
+        assert topo.hosts[1].nic.rx_pkts >= 1
+
+
+def test_enumerate_paths():
+    _, topo = build(n_spines=4, n_leaves=2, hosts_per_leaf=2)
+    paths = enumerate_paths(topo, 0, 2)
+    assert len(paths) == 4
+    for path in paths:
+        assert path[0] == "L1" and path[-1] == "L2"
+    # same-leaf pair: single local path
+    assert enumerate_paths(topo, 0, 1) == [["L1"]]

@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomStreams
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(5, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(10, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: sim.schedule_at(25, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [25]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_run_returns_event_count():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(i, lambda: None)
+    assert sim.run() == 7
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i, lambda: None)
+    assert sim.run(max_events=3) == 3
+    assert sim.run() == 7
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    ev.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, "a")
+    sim.schedule(2, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream(self):
+        streams = RandomStreams(seed=1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(seed=7).stream("x").random()
+        b = RandomStreams(seed=7).stream("x").random()
+        assert a == b
+
+    def test_different_names_decorrelated(self):
+        streams = RandomStreams(seed=7)
+        assert streams.stream("x").random() != streams.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).stream("x").random()
+        b = RandomStreams(seed=2).stream("x").random()
+        assert a != b
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(seed=3).fork("child").stream("s").random()
+        b = RandomStreams(seed=3).fork("child").stream("s").random()
+        assert a == b

@@ -1,0 +1,152 @@
+"""Unit tests for the switch: exact-match, ECMP groups, failover."""
+
+from repro.net.addresses import shadow_mac, shadow_mac_tree
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.port import Port
+from repro.net.switch import HASH_FLOW, HASH_FLOWCELL, EcmpGroup, Switch
+from repro.sim.engine import Simulator
+from repro.units import gbps, usec
+
+
+class SinkNode:
+    def __init__(self, name="sink"):
+        self.name = name
+        self.received = []
+
+    def receive(self, pkt, in_port):
+        self.received.append(pkt)
+
+
+def wire(sim, sw, name):
+    """Attach a port from sw to a fresh sink; returns (port, sink)."""
+    link = Link(name, gbps(10), usec(1))
+    port = Port(sim, name, link, 100_000)
+    sink = SinkNode(name)
+    port.peer = sink
+    sw.add_port(port)
+    return port, sink
+
+
+def pkt(dst_mac, flow=1, cell=1):
+    return Packet(flow_id=flow, src_host=0, dst_host=1, dst_mac=dst_mac,
+                  kind="data", seq=0, payload_len=100, flowcell_id=cell)
+
+
+def test_exact_match_forwarding():
+    sim = Simulator()
+    sw = Switch("S")
+    p1, sink1 = wire(sim, sw, "p1")
+    p2, sink2 = wire(sim, sw, "p2")
+    sw.install_route(42, p2)
+    sw.receive(pkt(42), None)
+    sim.run()
+    assert len(sink2.received) == 1
+    assert sink1.received == []
+
+
+def test_no_route_drop_counted():
+    sim = Simulator()
+    sw = Switch("S")
+    wire(sim, sw, "p1")
+    sw.receive(pkt(99), None)
+    assert sw.no_route_drops == 1
+
+
+def test_remove_route():
+    sim = Simulator()
+    sw = Switch("S")
+    p1, _ = wire(sim, sw, "p1")
+    sw.install_route(42, p1)
+    sw.remove_route(42)
+    sw.receive(pkt(42), None)
+    assert sw.no_route_drops == 1
+
+
+def test_ecmp_flow_hash_is_sticky_per_flow():
+    sim = Simulator()
+    sw = Switch("S")
+    ports = [wire(sim, sw, f"p{i}")[0] for i in range(4)]
+    group = EcmpGroup(ports, salt=7, mode=HASH_FLOW)
+    chosen = {group.select(pkt(0, flow=5, cell=c)).name for c in range(10)}
+    assert len(chosen) == 1  # same flow, any flowcell -> same port
+
+
+def test_ecmp_flowcell_hash_spreads_cells():
+    sim = Simulator()
+    sw = Switch("S")
+    ports = [wire(sim, sw, f"p{i}")[0] for i in range(4)]
+    group = EcmpGroup(ports, salt=7, mode=HASH_FLOWCELL)
+    chosen = {group.select(pkt(0, flow=5, cell=c)).name for c in range(64)}
+    assert len(chosen) == 4  # flowcells spread across all ports
+
+
+def test_ecmp_distribution_roughly_uniform():
+    sim = Simulator()
+    sw = Switch("S")
+    ports = [wire(sim, sw, f"p{i}")[0] for i in range(4)]
+    group = EcmpGroup(ports, salt=3, mode=HASH_FLOW)
+    counts = {p.name: 0 for p in ports}
+    for flow in range(4000):
+        counts[group.select(pkt(0, flow=flow)).name] += 1
+    for c in counts.values():
+        assert 800 < c < 1200  # ~1000 each
+
+
+def test_ecmp_default_fallback():
+    sim = Simulator()
+    sw = Switch("S")
+    p1, sink1 = wire(sim, sw, "p1")
+    sw.ecmp_default = EcmpGroup([p1])
+    sw.receive(pkt(12345), None)
+    sim.run()
+    assert len(sink1.received) == 1
+
+
+def test_failover_redirects_after_latency():
+    sim = Simulator()
+    sw = Switch("S")
+    p1, sink1 = wire(sim, sw, "p1")
+    p2, sink2 = wire(sim, sw, "p2")
+    group = sw.enable_failover(latency_ns=usec(10))
+    group.set_backup(p1, p2)
+    sw.install_route(42, p1)
+    p1.link.set_down()
+    # before detection latency: dropped
+    sw.receive(pkt(42), None)
+    assert sw.no_route_drops == 1
+    sim.run(until=usec(20))
+    sw.receive(pkt(42), None)
+    sim.run()
+    assert len(sink2.received) == 1
+
+
+def test_failover_rewrite_applied():
+    sim = Simulator()
+    sw = Switch("S")
+    p1, _ = wire(sim, sw, "p1")
+    p2, sink2 = wire(sim, sw, "p2")
+    group = sw.enable_failover(latency_ns=0)
+
+    def relabel(p):
+        p.dst_mac = shadow_mac(2, 7)
+
+    group.set_backup(p1, p2, rewrite=relabel)
+    sw.install_route(shadow_mac(1, 7), p1)
+    p1.link.set_down()
+    sw.receive(pkt(shadow_mac(1, 7)), None)
+    sim.run()
+    assert len(sink2.received) == 1
+    assert shadow_mac_tree(sink2.received[0].dst_mac) == 2
+
+
+def test_ttl_guard_kills_looping_packet():
+    sim = Simulator()
+    sw = Switch("S")
+    p1, _ = wire(sim, sw, "p1")
+    sw.install_route(42, p1)
+    p = pkt(42)
+    p.hops = Switch.MAX_HOPS + 1
+    sw.receive(p, None)
+    assert sw.ttl_drops == 1
+    assert sw.dropped_pkts() == 1
