@@ -45,6 +45,7 @@ def test_fig7_8_9_scalability(benchmark):
             ["scheme", "paths", "tput Gbps", "loss", "jain", "rtt p50 ms", "rtt p99 ms"],
             rows,
         ),
+        data=grid,
     )
 
     def curve(scheme):

@@ -42,6 +42,7 @@ def test_fig10_12_oversub(benchmark):
         format_table(
             ["scheme", "oversub", "tput Gbps", "loss", "jain", "rtt p99 ms"], rows
         ),
+        data=grid,
     )
     by = {s: {p.n_pairs: p for p in pts} for s, pts in grid.items()}
     # 1x oversubscription: non-blocking, Presto ~= Optimal.

@@ -42,6 +42,7 @@ def test_fig15_16_synthetic(benchmark):
             ["workload", "scheme", "eleph Gbps", "mice p50 ms", "mice p99.9 ms", "n mice"],
             rows,
         ),
+        data=grid,
     )
     for workload in ("random", "stride", "bijection"):
         presto = grid[("presto", workload)]

@@ -224,9 +224,9 @@ class Testbed:
         return self.hosts[i]
 
     def pod_of(self, host_id: int) -> int:
-        """Leaf (pod) index of a host; on the single switch all share 0."""
-        if self.cfg.scheme == "optimal":
-            return host_id // self.cfg.hosts_per_leaf
+        """Leaf (pod) index a host logically belongs to.  The "optimal"
+        single switch keeps the same numbering so workload generators
+        stay scheme-agnostic."""
         return host_id // self.cfg.hosts_per_leaf
 
     @property

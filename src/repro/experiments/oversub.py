@@ -4,12 +4,16 @@ Two spines, two leaves; the host-pair count sweeps 2..8 so the
 leaf-to-spine fabric is 1x to 4x oversubscribed.  Reported per scheme:
 mean elephant throughput (Fig 10), RTT samples (Fig 11), loss rate
 (Fig 12a), fairness (Fig 12b).
+
+Like the scalability sweep, the unit of work is one (scheme, pair
+count, seed) simulation — :func:`run_oversub_seed` — submitted through
+the parallel runner; serial entry points wrap the same function.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_MEASURE_NS,
@@ -19,6 +23,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.harness import TestbedConfig
 from repro.metrics.stats import jain_fairness, mean
+from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
 
 DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
 
@@ -38,27 +43,33 @@ class OversubPoint:
         return self.n_pairs / 2.0
 
 
-def run_oversub_point(
-    scheme: str,
-    n_pairs: int,
-    seeds: Sequence[int] = (1, 2, 3),
+def oversub_config(scheme: str, n_pairs: int, seed: int) -> TestbedConfig:
+    """The Fig 4b testbed for one sweep cell: 2 spines, n_pairs host
+    pairs per leaf."""
+    return TestbedConfig(
+        scheme=scheme, n_spines=2, n_leaves=2, hosts_per_leaf=n_pairs,
+        seed=seed,
+    )
+
+
+def run_oversub_seed(
+    cfg: TestbedConfig,
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
-) -> OversubPoint:
+) -> RunResult:
+    """One (scheme, pair count, seed) trial — the picklable job unit."""
+    n_pairs = cfg.hosts_per_leaf
     pairs = [(i, n_pairs + i) for i in range(n_pairs)]
     probe_pairs = [(0, n_pairs)] if with_probes else []
-    runs: List[RunResult] = []
-    for seed in seeds:
-        cfg = TestbedConfig(
-            scheme=scheme, n_spines=2, n_leaves=2, hosts_per_leaf=n_pairs,
-            seed=seed,
-        )
-        runs.append(
-            run_elephant_workload(
-                cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
-            )
-        )
+    return run_elephant_workload(
+        cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
+    )
+
+
+def _point_from_runs(
+    scheme: str, n_pairs: int, runs: Sequence[RunResult]
+) -> OversubPoint:
     per_flow = [r for run in runs for r in run.per_pair_rates_bps]
     return OversubPoint(
         scheme=scheme,
@@ -70,17 +81,72 @@ def run_oversub_point(
     )
 
 
+def run_oversub_point(
+    scheme: str,
+    n_pairs: int,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = True,
+) -> OversubPoint:
+    runs = [
+        run_oversub_seed(
+            oversub_config(scheme, n_pairs, seed),
+            warm_ns, measure_ns, with_probes,
+        )
+        for seed in seeds
+    ]
+    return _point_from_runs(scheme, n_pairs, runs)
+
+
+def oversub_specs(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    pair_counts: Sequence[int] = (2, 4, 6, 8),
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = True,
+) -> List[JobSpec]:
+    """The full grid as runner jobs, ordered scheme > pair count > seed."""
+    return [
+        JobSpec.make(
+            run_oversub_seed,
+            cfg=oversub_config(scheme, n_pairs, seed),
+            label=f"oversub/{scheme}/pairs{n_pairs}/seed{seed}",
+            warm_ns=warm_ns,
+            measure_ns=measure_ns,
+            with_probes=with_probes,
+        )
+        for scheme in schemes
+        for n_pairs in pair_counts
+        for seed in seeds
+    ]
+
+
 def run_oversub(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     pair_counts: Sequence[int] = (2, 4, 6, 8),
     seeds: Sequence[int] = (1, 2, 3),
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    timeout_s: Optional[float] = None,
+    log=None,
 ) -> Dict[str, List[OversubPoint]]:
-    return {
-        scheme: [
-            run_oversub_point(scheme, n, seeds, warm_ns, measure_ns)
-            for n in pair_counts
+    """The full Figs 10-12 grid, fanned out through the runner."""
+    specs = oversub_specs(schemes, pair_counts, seeds, warm_ns, measure_ns)
+    outcomes = run_jobs(
+        specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
+    )
+    runs = collect_results(outcomes)
+    grid: Dict[str, List[OversubPoint]] = {}
+    it = iter(runs)
+    for scheme in schemes:
+        grid[scheme] = [
+            _point_from_runs(scheme, n_pairs, [next(it) for _ in seeds])
+            for n_pairs in pair_counts
         ]
-        for scheme in schemes
-    }
+    return grid

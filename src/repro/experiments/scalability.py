@@ -3,12 +3,18 @@
 Path count (= spine count) sweeps 2..8 with one L1->L2 host pair per
 path.  Per scheme we report mean elephant throughput (Fig 7), RTT
 samples (Fig 8), loss rate (Fig 9a) and Jain fairness (Fig 9b).
+
+The sweep's unit of work is one (scheme, path count, seed) simulation
+— :func:`run_scalability_seed` — which the parallel runner
+(:mod:`repro.runner`) executes across worker processes; the serial
+entry points are thin wrappers over the same function, so parallel and
+serial results are identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_MEASURE_NS,
@@ -18,6 +24,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.harness import TestbedConfig
 from repro.metrics.stats import jain_fairness, mean
+from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
 
 DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
 
@@ -32,28 +39,33 @@ class ScalabilityPoint:
     rtts_ns: List[int] = field(default_factory=list)
 
 
-def run_scalability_point(
-    scheme: str,
-    n_paths: int,
-    seeds: Sequence[int] = (1, 2, 3),
+def scalability_config(scheme: str, n_paths: int, seed: int) -> TestbedConfig:
+    """The Fig 4a testbed for one sweep cell: n_paths spines, one
+    L1->L2 host pair per path."""
+    return TestbedConfig(
+        scheme=scheme, n_spines=n_paths, n_leaves=2, hosts_per_leaf=n_paths,
+        seed=seed,
+    )
+
+
+def run_scalability_seed(
+    cfg: TestbedConfig,
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
-) -> ScalabilityPoint:
-    """One (scheme, path count) cell of Figs 7-9, averaged over seeds."""
+) -> RunResult:
+    """One (scheme, path count, seed) trial — the picklable job unit."""
+    n_paths = cfg.n_spines
     pairs = [(i, n_paths + i) for i in range(n_paths)]
     probe_pairs = [(0, n_paths)] if with_probes else []
-    runs: List[RunResult] = []
-    for seed in seeds:
-        cfg = TestbedConfig(
-            scheme=scheme, n_spines=n_paths, n_leaves=2, hosts_per_leaf=n_paths,
-            seed=seed,
-        )
-        runs.append(
-            run_elephant_workload(
-                cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
-            )
-        )
+    return run_elephant_workload(
+        cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
+    )
+
+
+def _point_from_runs(
+    scheme: str, n_paths: int, runs: Sequence[RunResult]
+) -> ScalabilityPoint:
     per_flow = [r for run in runs for r in run.per_pair_rates_bps]
     return ScalabilityPoint(
         scheme=scheme,
@@ -65,18 +77,80 @@ def run_scalability_point(
     )
 
 
+def run_scalability_point(
+    scheme: str,
+    n_paths: int,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = True,
+) -> ScalabilityPoint:
+    """One (scheme, path count) cell of Figs 7-9, averaged over seeds."""
+    runs = [
+        run_scalability_seed(
+            scalability_config(scheme, n_paths, seed),
+            warm_ns, measure_ns, with_probes,
+        )
+        for seed in seeds
+    ]
+    return _point_from_runs(scheme, n_paths, runs)
+
+
+def scalability_specs(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    path_counts: Sequence[int] = (2, 4, 6, 8),
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_probes: bool = True,
+) -> List[JobSpec]:
+    """The full grid as runner jobs, ordered scheme > path count > seed."""
+    return [
+        JobSpec.make(
+            run_scalability_seed,
+            cfg=scalability_config(scheme, n_paths, seed),
+            label=f"scalability/{scheme}/paths{n_paths}/seed{seed}",
+            warm_ns=warm_ns,
+            measure_ns=measure_ns,
+            with_probes=with_probes,
+        )
+        for scheme in schemes
+        for n_paths in path_counts
+        for seed in seeds
+    ]
+
+
 def run_scalability(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     path_counts: Sequence[int] = (2, 4, 6, 8),
     seeds: Sequence[int] = (1, 2, 3),
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    timeout_s: Optional[float] = None,
+    log=None,
 ) -> Dict[str, List[ScalabilityPoint]]:
-    """The full Figs 7-9 grid."""
-    return {
-        scheme: [
-            run_scalability_point(scheme, n, seeds, warm_ns, measure_ns)
-            for n in path_counts
+    """The full Figs 7-9 grid, fanned out through the runner.
+
+    ``jobs=1`` (the default) preserves the historical serial behavior;
+    ``jobs=N`` runs the (scheme x path x seed) cells on N worker
+    processes, and ``store`` makes the sweep resumable.
+    """
+    specs = scalability_specs(
+        schemes, path_counts, seeds, warm_ns, measure_ns
+    )
+    outcomes = run_jobs(
+        specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
+    )
+    runs = collect_results(outcomes)
+    grid: Dict[str, List[ScalabilityPoint]] = {}
+    it = iter(runs)
+    for scheme in schemes:
+        grid[scheme] = [
+            _point_from_runs(scheme, n_paths, [next(it) for _ in seeds])
+            for n_paths in path_counts
         ]
-        for scheme in schemes
-    }
+    return grid

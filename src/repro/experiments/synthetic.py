@@ -5,12 +5,17 @@ random-bijection under ECMP, MPTCP, Presto and Optimal.
 
 Fig 16: mice (50 KB) flow completion time CDFs alongside the stride,
 random-bijection and shuffle elephants.
+
+The sweep's unit of work is one (scheme, workload, seed) simulation —
+:func:`run_synthetic_seed` — submitted through the parallel runner;
+:func:`run_synthetic` keeps its serial per-cell signature as a thin
+wrapper over the same function.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_MEASURE_NS,
@@ -21,6 +26,7 @@ from repro.experiments.common import (
 from repro.experiments.harness import Testbed, TestbedConfig
 
 from repro.metrics.stats import mean
+from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
 from repro.sim.rand import RandomStreams
 from repro.units import KB, MB, SEC, msec
 from repro.workloads.synthetic import (
@@ -45,6 +51,17 @@ class SyntheticResult:
         return fct_percentiles(self.mice_fcts_ns)
 
 
+@dataclass
+class SyntheticSeedRun:
+    """One (scheme, workload, seed) trial's raw samples."""
+
+    scheme: str
+    workload: str
+    seed: int
+    rates_bps: List[float] = field(default_factory=list)
+    mice_fcts_ns: List[int] = field(default_factory=list)
+
+
 def _pairs_for(workload: str, n_hosts: int, hosts_per_pod: int, seed: int):
     rng = RandomStreams(seed).stream(f"workload-{workload}")
     if workload == "stride":
@@ -54,6 +71,90 @@ def _pairs_for(workload: str, n_hosts: int, hosts_per_pod: int, seed: int):
     if workload == "bijection":
         return random_bijection_pairs(n_hosts, hosts_per_pod, rng)
     raise ValueError(f"unknown workload {workload!r}")
+
+
+def _check_workload(workload: str) -> None:
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_synthetic_seed(
+    cfg: TestbedConfig,
+    workload: str,
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_mice: bool = True,
+    mice_interval_ns: int = msec(5),
+    shuffle_transfer_bytes: int = 8 * MB,
+) -> SyntheticSeedRun:
+    """One (scheme, workload, seed) trial — the picklable job unit."""
+    _check_workload(workload)
+    if workload == "shuffle":
+        return _run_shuffle_seed(
+            cfg, warm_ns, measure_ns, with_mice, mice_interval_ns,
+            shuffle_transfer_bytes,
+        )
+    pairs = _pairs_for(workload, 16, 4, cfg.seed)
+    mice_pairs = pairs[::4] if with_mice else []
+    run = run_elephant_workload(
+        cfg, pairs, warm_ns, measure_ns,
+        mice_pairs=mice_pairs, mice_interval_ns=mice_interval_ns,
+    )
+    return SyntheticSeedRun(
+        scheme=cfg.scheme, workload=workload, seed=cfg.seed,
+        rates_bps=list(run.per_pair_rates_bps),
+        mice_fcts_ns=list(run.mice_fcts_ns),
+    )
+
+
+def _run_shuffle_seed(
+    cfg: TestbedConfig,
+    warm_ns: int,
+    measure_ns: int,
+    with_mice: bool,
+    mice_interval_ns: int,
+    transfer_bytes: int,
+) -> SyntheticSeedRun:
+    """Shuffle is closed-loop (2 concurrent sized transfers per host), so
+    it cannot reuse the open-loop elephant runner.  Throughput is the
+    aggregate receive rate per host over the measurement window (the
+    receiver NIC is the bottleneck, as the paper notes)."""
+    tb = Testbed(cfg)
+    rng = tb.streams.stream("shuffle")
+    wl = shuffle_workload(tb, transfer_bytes, concurrent=2, rng=rng)
+    wl.start()
+    mice_apps = []
+    if with_mice:
+        for src, dst in stride_pairs(16, 8)[::4]:
+            mice_apps.append(
+                tb.add_mice(src, dst, size_bytes=50 * KB,
+                            interval_ns=mice_interval_ns,
+                            start_ns=warm_ns // 2)
+            )
+    delivered_start: Dict[int, int] = {}
+    tb.run(warm_ns)
+    for h in tb.hosts:
+        delivered_start[h.host_id] = sum(
+            r.delivered_bytes for r in h.receivers.values()
+        )
+    rates: List[float] = []
+    tb.run(warm_ns + measure_ns)
+    for h in tb.hosts:
+        end = sum(r.delivered_bytes for r in h.receivers.values())
+        rates.append((end - delivered_start[h.host_id]) * 8 * SEC / measure_ns)
+    return SyntheticSeedRun(
+        scheme=cfg.scheme, workload="shuffle", seed=cfg.seed,
+        rates_bps=rates,
+        mice_fcts_ns=[f for m in mice_apps for f in m.fcts_ns],
+    )
+
+
+def _result_from_seed_runs(
+    scheme: str, workload: str, seed_runs: Sequence[SyntheticSeedRun]
+) -> SyntheticResult:
+    rates = [r for run in seed_runs for r in run.rates_bps]
+    fcts = [f for run in seed_runs for f in run.mice_fcts_ns]
+    return SyntheticResult(scheme, workload, mean(rates), fcts)
 
 
 def run_synthetic(
@@ -66,65 +167,44 @@ def run_synthetic(
     mice_interval_ns: int = msec(5),
 ) -> SyntheticResult:
     """One (scheme, workload) cell of Figs 15/16."""
-    if workload == "shuffle":
-        return _run_shuffle(scheme, seeds, warm_ns, measure_ns, with_mice,
-                            mice_interval_ns)
-    rates: List[float] = []
-    fcts: List[int] = []
-    for seed in seeds:
-        cfg = TestbedConfig(scheme=scheme, seed=seed)
-        pairs = _pairs_for(workload, 16, 4, seed)
-        mice_pairs = pairs[::4] if with_mice else []
-        run = run_elephant_workload(
-            cfg, pairs, warm_ns, measure_ns,
-            mice_pairs=mice_pairs, mice_interval_ns=mice_interval_ns,
+    _check_workload(workload)
+    seed_runs = [
+        run_synthetic_seed(
+            TestbedConfig(scheme=scheme, seed=seed), workload,
+            warm_ns, measure_ns, with_mice, mice_interval_ns,
         )
-        rates.extend(run.per_pair_rates_bps)
-        fcts.extend(run.mice_fcts_ns)
-    return SyntheticResult(scheme, workload, mean(rates), fcts)
+        for seed in seeds
+    ]
+    return _result_from_seed_runs(scheme, workload, seed_runs)
 
 
-def _run_shuffle(
-    scheme: str,
-    seeds: Sequence[int],
-    warm_ns: int,
-    measure_ns: int,
-    with_mice: bool,
-    mice_interval_ns: int,
-    transfer_bytes: int = 8 * MB,
-) -> SyntheticResult:
-    """Shuffle is closed-loop (2 concurrent sized transfers per host), so
-    it cannot reuse the open-loop elephant runner.  Throughput is the
-    aggregate receive rate per host over the measurement window (the
-    receiver NIC is the bottleneck, as the paper notes)."""
-    rates: List[float] = []
-    fcts: List[int] = []
-    for seed in seeds:
-        cfg = TestbedConfig(scheme=scheme, seed=seed)
-        tb = Testbed(cfg)
-        rng = tb.streams.stream("shuffle")
-        wl = shuffle_workload(tb, transfer_bytes, concurrent=2, rng=rng)
-        wl.start()
-        mice_apps = []
-        if with_mice:
-            for src, dst in stride_pairs(16, 8)[::4]:
-                mice_apps.append(
-                    tb.add_mice(src, dst, size_bytes=50 * KB,
-                                interval_ns=mice_interval_ns,
-                                start_ns=warm_ns // 2)
-                )
-        delivered_start: Dict[int, int] = {}
-        tb.run(warm_ns)
-        for h in tb.hosts:
-            delivered_start[h.host_id] = sum(
-                r.delivered_bytes for r in h.receivers.values()
-            )
-        tb.run(warm_ns + measure_ns)
-        for h in tb.hosts:
-            end = sum(r.delivered_bytes for r in h.receivers.values())
-            rates.append((end - delivered_start[h.host_id]) * 8 * SEC / measure_ns)
-        fcts.extend(f for m in mice_apps for f in m.fcts_ns)
-    return SyntheticResult(scheme, "shuffle", mean(rates), fcts)
+def synthetic_specs(
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    workloads: Sequence[str] = WORKLOADS,
+    seeds: Sequence[int] = (1, 2, 3),
+    warm_ns: int = DEFAULT_WARM_NS,
+    measure_ns: int = DEFAULT_MEASURE_NS,
+    with_mice: bool = True,
+    mice_interval_ns: int = msec(5),
+) -> List[JobSpec]:
+    """The full grid as runner jobs, ordered workload > scheme > seed."""
+    for workload in workloads:
+        _check_workload(workload)
+    return [
+        JobSpec.make(
+            run_synthetic_seed,
+            cfg=TestbedConfig(scheme=scheme, seed=seed),
+            label=f"synthetic/{workload}/{scheme}/seed{seed}",
+            workload=workload,
+            warm_ns=warm_ns,
+            measure_ns=measure_ns,
+            with_mice=with_mice,
+            mice_interval_ns=mice_interval_ns,
+        )
+        for workload in workloads
+        for scheme in schemes
+        for seed in seeds
+    ]
 
 
 def run_figure15_16(
@@ -133,9 +213,25 @@ def run_figure15_16(
     seeds: Sequence[int] = (1, 2, 3),
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    timeout_s: Optional[float] = None,
+    log=None,
 ) -> Dict[Tuple[str, str], SyntheticResult]:
-    return {
-        (scheme, workload): run_synthetic(scheme, workload, seeds, warm_ns, measure_ns)
-        for workload in workloads
-        for scheme in schemes
-    }
+    """The full Figs 15/16 grid, fanned out through the runner."""
+    specs = synthetic_specs(schemes, workloads, seeds, warm_ns, measure_ns)
+    outcomes = run_jobs(
+        specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
+    )
+    runs = collect_results(outcomes)
+    grid: Dict[Tuple[str, str], SyntheticResult] = {}
+    it = iter(runs)
+    for workload in workloads:
+        for scheme in schemes:
+            seed_runs = [next(it) for _ in seeds]
+            grid[(scheme, workload)] = _result_from_seed_runs(
+                scheme, workload, seed_runs
+            )
+    return grid

@@ -1,0 +1,206 @@
+"""``python -m repro.runner`` — list, run and summarize paper sweeps.
+
+Commands::
+
+    python -m repro.runner list
+    python -m repro.runner run scalability --jobs 4
+    python -m repro.runner run oversub --points 2,4 --seeds 1,2 --force
+    python -m repro.runner summary
+
+``run`` writes the rendered table to ``<results-dir>/runner_<sweep>.txt``
+and a machine-readable ``runner_<sweep>.json``; per-job results land in
+``<results-dir>/store/<hash>.json``, which is what makes a re-run
+resume instead of re-simulate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.runner.serialize import to_jsonable
+from repro.runner.store import DEFAULT_RESULTS_DIR, RESULTS_DIR_ENV, ResultStore
+
+
+def _csv_strs(text: Optional[str]) -> Sequence[str]:
+    return tuple(s for s in (text or "").split(",") if s) or ()
+
+
+def _csv_ints(text: Optional[str]) -> Sequence[int]:
+    return tuple(int(s) for s in (text or "").split(",") if s)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel sweep runner with a persistent, resumable "
+                    "result store.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list the available sweeps")
+
+    run = sub.add_parser("run", help="run one sweep through the job pool")
+    run.add_argument("sweep", help="sweep name (see `list`)")
+    run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: os.cpu_count(); 1 = in-process "
+             "serial)",
+    )
+    run.add_argument(
+        "--force", action="store_true",
+        help="invalidate cached results for this sweep's jobs and re-run",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout; a hung job is killed, retried "
+             "once, then reported failed",
+    )
+    run.add_argument(
+        "--schemes", default=None,
+        help="comma-separated scheme subset (default: the figure's four)",
+    )
+    run.add_argument(
+        "--points", default=None,
+        help="comma-separated sweep points (path counts / pair counts)",
+    )
+    run.add_argument("--seeds", default="1,2", help="comma-separated seeds")
+    run.add_argument(
+        "--warm-ms", type=float, default=15.0,
+        help="warmup window before measurement, in simulated ms",
+    )
+    run.add_argument(
+        "--measure-ms", type=float, default=25.0,
+        help="measurement window, in simulated ms",
+    )
+    run.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help=f"results root (default: ${RESULTS_DIR_ENV} or "
+             f"{DEFAULT_RESULTS_DIR})",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
+    summary = sub.add_parser(
+        "summary", help="show what the result store already holds"
+    )
+    summary.add_argument("--results-dir", default=None, metavar="DIR")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.runner.sweeps import SWEEPS
+
+    width = max(len(name) for name in SWEEPS)
+    for name, sweep in SWEEPS.items():
+        print(f"{name.ljust(width)}  {sweep.description}")
+    return 0
+
+
+def _cmd_run(ns: argparse.Namespace) -> int:
+    from repro.experiments.harness import format_table
+    from repro.runner.sweeps import SWEEPS
+    from repro.units import msec
+
+    sweep = SWEEPS.get(ns.sweep)
+    if sweep is None:
+        print(f"unknown sweep {ns.sweep!r}; available: {', '.join(SWEEPS)}",
+              file=sys.stderr)
+        return 2
+    if ns.jobs is not None and ns.jobs < 1:
+        print(f"--jobs must be >= 1, got {ns.jobs}", file=sys.stderr)
+        return 2
+    try:
+        points = _csv_ints(ns.points) or tuple(sweep.default_points)
+        seeds = _csv_ints(ns.seeds)
+    except ValueError as exc:
+        print(f"--points/--seeds must be comma-separated integers: {exc}",
+              file=sys.stderr)
+        return 2
+    if not seeds:
+        print("--seeds must name at least one seed", file=sys.stderr)
+        return 2
+    schemes = _csv_strs(ns.schemes)
+    from repro.experiments.harness import SCHEMES
+
+    unknown = [s for s in schemes if s not in SCHEMES]
+    if unknown:
+        print(f"unknown scheme(s) {', '.join(unknown)}; "
+              f"pick from {', '.join(SCHEMES)}", file=sys.stderr)
+        return 2
+
+    store = ResultStore(ns.results_dir)
+    log = None if ns.quiet else (lambda msg: print(msg, file=sys.stderr))
+    report = sweep.run(
+        schemes,
+        points,
+        seeds,
+        msec(ns.warm_ms),
+        msec(ns.measure_ms),
+        jobs=ns.jobs,
+        store=store,
+        force=ns.force,
+        timeout_s=ns.timeout,
+        log=log,
+    )
+    table = format_table(report.headers, report.rows)
+    print(table)
+
+    os.makedirs(store.root, exist_ok=True)
+    txt_path = os.path.join(store.root, f"runner_{report.name}.txt")
+    with open(txt_path, "w") as fh:
+        fh.write(table + "\n")
+    json_path = os.path.join(store.root, f"runner_{report.name}.json")
+    with open(json_path, "w") as fh:
+        json.dump(
+            {"name": report.name, "table": table,
+             "data": to_jsonable(report.payload)},
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    print(f"saved {txt_path} and {json_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_summary(ns: argparse.Namespace) -> int:
+    from repro.experiments.harness import format_table
+
+    store = ResultStore(ns.results_dir)
+    rows: List[List[object]] = []
+    total_elapsed = 0.0
+    for record in store.records():
+        total_elapsed += record.get("elapsed_s", 0.0)
+        rows.append([
+            record.get("hash", "?"),
+            record.get("label", "?"),
+            f"{record.get('elapsed_s', 0.0):.1f}s",
+            record.get("attempts", "?"),
+        ])
+    if not rows:
+        print(f"result store at {store.store_dir} is empty")
+        return 0
+    print(format_table(["hash", "job", "elapsed", "attempts"], rows))
+    print(f"\n{len(rows)} cached job(s), "
+          f"{total_elapsed:.1f}s of simulation on disk "
+          f"({store.store_dir})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    ns = parser.parse_args(argv)
+    if ns.command is None:
+        parser.print_help()
+        return 0
+    if ns.command == "list":
+        return _cmd_list()
+    if ns.command == "run":
+        return _cmd_run(ns)
+    if ns.command == "summary":
+        return _cmd_summary(ns)
+    parser.error(f"unknown command {ns.command!r}")
+    return 2

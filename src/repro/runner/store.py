@@ -1,0 +1,99 @@
+"""Persistent, resumable result store keyed by job-spec hash.
+
+Each completed job becomes one JSON file
+``benchmarks/results/store/<hash>.json`` holding the spec, the encoded
+result and execution metadata.  Re-running a sweep loads matching
+hashes instead of re-simulating (resume); ``--force`` invalidates.
+Writes are atomic (tempfile + ``os.replace``) so a killed sweep never
+leaves a half-written record that would poison a resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro.runner.jobspec import JobSpec
+from repro.runner.serialize import to_jsonable
+
+#: env var overriding the default results root (useful for tests/CI)
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+class ResultStore:
+    """Content-addressed JSON store under ``<root>/store/``."""
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            root = os.environ.get(RESULTS_DIR_ENV) or DEFAULT_RESULTS_DIR
+        self.root = root
+        self.store_dir = os.path.join(root, "store")
+
+    def path_for(self, spec: JobSpec) -> str:
+        return os.path.join(self.store_dir, f"{spec.hash}.json")
+
+    def load_record(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
+        """The stored record for ``spec``, or None on miss/corruption."""
+        try:
+            with open(self.path_for(spec)) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def save(
+        self,
+        spec: JobSpec,
+        result_jsonable: Any,
+        elapsed_s: float,
+        attempts: int = 1,
+    ) -> str:
+        """Atomically persist one job's encoded result; returns the path."""
+        os.makedirs(self.store_dir, exist_ok=True)
+        record = {
+            "hash": spec.hash,
+            "label": spec.display,
+            "spec": to_jsonable(spec),
+            "result": result_jsonable,
+            "elapsed_s": round(elapsed_s, 6),
+            "attempts": attempts,
+            "created_unix": time.time(),
+        }
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(dir=self.store_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def invalidate(self, spec: JobSpec) -> bool:
+        """Drop the cached record for ``spec``; True if one existed."""
+        try:
+            os.unlink(self.path_for(spec))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """All readable records, ordered by filename (= hash)."""
+        if not os.path.isdir(self.store_dir):
+            return
+        for name in sorted(os.listdir(self.store_dir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.store_dir, name)) as fh:
+                    yield json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.records())

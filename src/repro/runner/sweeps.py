@@ -1,0 +1,176 @@
+"""Named sweeps the CLI can list and run.
+
+Each sweep maps CLI options onto one experiment module's runner-backed
+grid function and renders the same summary rows the benchmark suite
+prints.  Registered here (vs. hard-coded in the CLI) so future
+experiments plug in with one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runner.store import ResultStore
+
+
+@dataclass
+class SweepReport:
+    """One finished sweep: a rendered table plus the raw grid."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]]
+    payload: Any
+
+
+@dataclass
+class SweepDef:
+    name: str
+    description: str
+    #: default sweep points when --points is not given
+    default_points: Sequence[int]
+    run: Callable[..., SweepReport]
+
+
+def _rtt_ms(rtts_ns: Sequence[int], pct: float) -> str:
+    from repro.metrics.stats import percentile
+
+    return f"{percentile(rtts_ns, pct) / 1e6:.2f}" if rtts_ns else "nan"
+
+
+def _grid_rows(grid, point_attr: str) -> List[List[object]]:
+    rows = []
+    for scheme, points in grid.items():
+        for p in points:
+            rows.append([
+                scheme,
+                getattr(p, point_attr),
+                f"{p.mean_tput_bps / 1e9:.2f}",
+                f"{p.loss_rate:.4%}",
+                f"{p.fairness:.3f}",
+                _rtt_ms(p.rtts_ns, 50),
+                _rtt_ms(p.rtts_ns, 99),
+            ])
+    return rows
+
+
+def _run_scalability(
+    schemes: Sequence[str],
+    points: Sequence[int],
+    seeds: Sequence[int],
+    warm_ns: int,
+    measure_ns: int,
+    *,
+    jobs: int,
+    store: Optional[ResultStore],
+    force: bool,
+    timeout_s: Optional[float],
+    log,
+) -> SweepReport:
+    from repro.experiments.scalability import DEFAULT_SCHEMES, run_scalability
+
+    grid = run_scalability(
+        schemes=schemes or DEFAULT_SCHEMES,
+        path_counts=points,
+        seeds=seeds,
+        warm_ns=warm_ns,
+        measure_ns=measure_ns,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+    )
+    headers = ["scheme", "paths", "tput Gbps", "loss", "jain",
+               "rtt p50 ms", "rtt p99 ms"]
+    return SweepReport("scalability", headers, _grid_rows(grid, "n_paths"), grid)
+
+
+def _run_oversub(
+    schemes: Sequence[str],
+    points: Sequence[int],
+    seeds: Sequence[int],
+    warm_ns: int,
+    measure_ns: int,
+    *,
+    jobs: int,
+    store: Optional[ResultStore],
+    force: bool,
+    timeout_s: Optional[float],
+    log,
+) -> SweepReport:
+    from repro.experiments.oversub import DEFAULT_SCHEMES, run_oversub
+
+    grid = run_oversub(
+        schemes=schemes or DEFAULT_SCHEMES,
+        pair_counts=points,
+        seeds=seeds,
+        warm_ns=warm_ns,
+        measure_ns=measure_ns,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+    )
+    headers = ["scheme", "pairs", "tput Gbps", "loss", "jain",
+               "rtt p50 ms", "rtt p99 ms"]
+    return SweepReport("oversub", headers, _grid_rows(grid, "n_pairs"), grid)
+
+
+def _run_synthetic(
+    schemes: Sequence[str],
+    points: Sequence[int],  # unused: synthetic sweeps workloads, not sizes
+    seeds: Sequence[int],
+    warm_ns: int,
+    measure_ns: int,
+    *,
+    jobs: int,
+    store: Optional[ResultStore],
+    force: bool,
+    timeout_s: Optional[float],
+    log,
+) -> SweepReport:
+    from repro.experiments.synthetic import (
+        DEFAULT_SCHEMES,
+        WORKLOADS,
+        run_figure15_16,
+    )
+
+    grid = run_figure15_16(
+        schemes=schemes or DEFAULT_SCHEMES,
+        workloads=WORKLOADS,
+        seeds=seeds,
+        warm_ns=warm_ns,
+        measure_ns=measure_ns,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+    )
+    headers = ["scheme", "workload", "tput Gbps", "mice p50 ms", "mice p99 ms"]
+    rows = []
+    for (scheme, workload), res in grid.items():
+        pct = res.mice_percentiles_ms()
+        rows.append([
+            scheme, workload,
+            f"{res.mean_elephant_tput_bps / 1e9:.2f}",
+            f"{pct['p50']:.2f}" if pct else "nan",
+            f"{pct['p99']:.2f}" if pct else "nan",
+        ])
+    return SweepReport("synthetic", headers, rows, grid)
+
+
+SWEEPS = {
+    "scalability": SweepDef(
+        name="scalability",
+        description="Figs 7-9: throughput/RTT/loss/fairness vs path count "
+                    "(2 leaves, N spines)",
+        default_points=(2, 4, 8),
+        run=_run_scalability,
+    ),
+    "oversub": SweepDef(
+        name="oversub",
+        description="Figs 10-12: the same metrics as the fabric "
+                    "oversubscribes 1x-4x (2 spines, N host pairs)",
+        default_points=(2, 4, 8),
+        run=_run_oversub,
+    ),
+    "synthetic": SweepDef(
+        name="synthetic",
+        description="Figs 15-16: shuffle/random/stride/bijection elephants "
+                    "+ mice FCTs on the 16-host Clos",
+        default_points=(),
+        run=_run_synthetic,
+    ),
+}

@@ -1,0 +1,247 @@
+"""Tests for the parallel sweep runner (repro.runner).
+
+Covers the ISSUE-mandated behaviors: parallel results byte-identical
+to serial for a small scalability grid; the result store skipping
+completed jobs on resume; injected worker crashes retried then
+reported failed without killing the sweep; timeouts killing hung jobs;
+plus serialization round-trips, spec hashing and the CLI.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.harness import TestbedConfig
+from repro.experiments.scalability import run_scalability, scalability_specs
+from repro.runner import (
+    JobSpec,
+    ResultStore,
+    canonical_json,
+    collect_results,
+    from_jsonable,
+    run_jobs,
+    to_jsonable,
+)
+from repro.runner.cli import main as cli_main
+from repro.units import msec
+
+TINY = dict(warm_ns=msec(2), measure_ns=msec(3))
+
+
+# --- picklable job functions (workers resolve these by module:name) ---------
+
+def job_ok(value=0):
+    return {"value": value, "pair": ("a", 1), "by_id": {7: 1.5}}
+
+
+def job_marker(path, value=0):
+    with open(path, "a") as fh:
+        fh.write("x")
+    return value
+
+
+def job_raise():
+    raise RuntimeError("injected failure")
+
+
+def job_exit():
+    os._exit(7)
+
+
+def job_hang():
+    time.sleep(60)
+
+
+# --- serialization ----------------------------------------------------------
+
+def test_serialize_roundtrip_structures():
+    obj = {
+        "cfg": TestbedConfig(scheme="ecmp", seed=3),
+        "rates": {1: 2.5, 9: 0.125},
+        "pairs": [(0, 2), (1, 3)],
+        "mixed": (1, [2.0, "three"], None, True),
+    }
+    back = from_jsonable(json.loads(json.dumps(to_jsonable(obj))))
+    assert back == obj
+    assert isinstance(back["cfg"], TestbedConfig)
+    assert list(back["rates"]) == [1, 9]  # int keys survive
+    assert back["pairs"][0] == (0, 2) and isinstance(back["pairs"][0], tuple)
+
+
+def test_serialize_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        to_jsonable(object())
+
+
+# --- job specs --------------------------------------------------------------
+
+def test_jobspec_hash_stable_and_sensitive():
+    spec = JobSpec.make(job_ok, cfg=TestbedConfig(seed=1), value=2)
+    same = JobSpec.make(job_ok, cfg=TestbedConfig(seed=1), value=2,
+                        label="display-only")
+    other_kwargs = JobSpec.make(job_ok, cfg=TestbedConfig(seed=1), value=3)
+    other_cfg = JobSpec.make(job_ok, cfg=TestbedConfig(seed=2), value=2)
+    assert spec.hash == same.hash  # label excluded from the cache key
+    assert spec.hash != other_kwargs.hash
+    assert spec.hash != other_cfg.hash
+    assert len(spec.hash) == 16
+
+
+def test_jobspec_executes_resolved_function():
+    spec = JobSpec.make(job_ok, value=41)
+    assert spec.execute() == {"value": 41, "pair": ("a", 1), "by_id": {7: 1.5}}
+
+
+# --- parallel == serial -----------------------------------------------------
+
+def test_parallel_matches_serial_scalability():
+    kw = dict(schemes=("presto", "ecmp"), path_counts=(2,), seeds=(1, 2), **TINY)
+    serial = run_scalability(**kw, jobs=1)
+    parallel = run_scalability(**kw, jobs=2)
+    assert canonical_json(parallel) == canonical_json(serial)
+
+
+# --- result store / resume --------------------------------------------------
+
+def test_store_resume_skips_completed(tmp_path):
+    marker = tmp_path / "runs"
+    specs = [JobSpec.make(job_marker, path=str(marker), value=i) for i in range(3)]
+    store = ResultStore(str(tmp_path / "results"))
+
+    first = run_jobs(specs, jobs=1, store=store)
+    assert [o.status for o in first] == ["ok"] * 3
+    assert marker.read_text() == "xxx"
+    assert len(store) == 3
+
+    second = run_jobs(specs, jobs=1, store=store)
+    assert [o.status for o in second] == ["cached"] * 3
+    assert marker.read_text() == "xxx"  # nothing re-ran
+    assert collect_results(second) == [0, 1, 2]
+
+    forced = run_jobs(specs, jobs=1, store=store, force=True)
+    assert [o.status for o in forced] == ["ok"] * 3
+    assert marker.read_text() == "xxxxxx"
+
+
+def test_store_resume_from_pool_run(tmp_path):
+    specs = scalability_specs(("presto",), (2,), (1,), **TINY)
+    store = ResultStore(str(tmp_path))
+    fresh = run_jobs(specs, jobs=2, store=store)
+    cached = run_jobs(specs, jobs=2, store=store)
+    assert [o.status for o in fresh] == ["ok"]
+    assert [o.status for o in cached] == ["cached"]
+    assert canonical_json(fresh[0].result) == canonical_json(cached[0].result)
+
+
+def test_store_records_are_atomic_json(tmp_path):
+    store = ResultStore(str(tmp_path))
+    spec = JobSpec.make(job_ok, value=5)
+    store.save(spec, to_jsonable(spec.execute()), elapsed_s=0.1)
+    (record,) = list(store.records())
+    assert record["hash"] == spec.hash
+    assert from_jsonable(record["result"])["value"] == 5
+    assert not [f for f in os.listdir(store.store_dir) if f.endswith(".tmp")]
+
+
+# --- failure containment ----------------------------------------------------
+
+def test_worker_crash_retried_then_failed_without_killing_sweep():
+    specs = [
+        JobSpec.make(job_ok, value=1, label="ok-1"),
+        JobSpec.make(job_exit, label="crasher"),
+        JobSpec.make(job_ok, value=2, label="ok-2"),
+    ]
+    out = run_jobs(specs, jobs=2, retries=1)
+    assert out[0].ok and out[2].ok
+    assert out[1].status == "failed"
+    assert out[1].attempts == 2  # initial try + one retry
+    assert "died" in out[1].error
+    with pytest.raises(RuntimeError, match="crasher"):
+        collect_results(out)
+
+
+def test_exception_retried_then_failed_serial():
+    logs = []
+    out = run_jobs(
+        [JobSpec.make(job_raise, label="raiser"), JobSpec.make(job_ok, value=3)],
+        jobs=1, retries=2, log=logs.append,
+    )
+    assert out[0].status == "failed"
+    assert out[0].attempts == 3
+    assert "injected failure" in out[0].error
+    assert out[1].ok
+    assert any("retrying" in line for line in logs)
+
+
+def test_timeout_kills_hung_job():
+    specs = [
+        JobSpec.make(job_hang, label="hanger"),
+        JobSpec.make(job_ok, value=4, label="quick"),
+    ]
+    t0 = time.monotonic()
+    out = run_jobs(specs, jobs=2, retries=0, timeout_s=1.0)
+    assert time.monotonic() - t0 < 30  # nowhere near job_hang's 60 s sleep
+    assert out[0].status == "failed"
+    assert "timed out" in out[0].error
+    assert out[1].ok
+
+
+def test_run_jobs_rejects_bad_jobs_count():
+    with pytest.raises(ValueError):
+        run_jobs([], jobs=0)
+
+
+# --- CLI --------------------------------------------------------------------
+
+def test_cli_help_and_list(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli_main(["--help"])
+    assert exc.value.code == 0
+    assert cli_main([]) == 0  # bare invocation prints help
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "scalability" in out and "oversub" in out and "synthetic" in out
+
+
+def test_cli_run_then_resume(tmp_path, capsys):
+    argv = [
+        "run", "scalability",
+        "--schemes", "presto", "--points", "2", "--seeds", "1",
+        "--warm-ms", "2", "--measure-ms", "3",
+        "--jobs", "2",
+        "--results-dir", str(tmp_path),
+    ]
+    assert cli_main(argv) == 0
+    first = capsys.readouterr()
+    assert "ok scalability/presto/paths2/seed1" in first.err
+    assert os.path.exists(tmp_path / "runner_scalability.txt")
+    with open(tmp_path / "runner_scalability.json") as fh:
+        payload = json.load(fh)
+    grid = from_jsonable(payload["data"])
+    assert grid["presto"][0].n_paths == 2
+
+    assert cli_main(argv) == 0
+    second = capsys.readouterr()
+    assert "cached scalability/presto/paths2/seed1" in second.err
+
+    assert cli_main(["summary", "--results-dir", str(tmp_path)]) == 0
+    summary = capsys.readouterr().out
+    assert "scalability/presto/paths2/seed1" in summary
+
+
+def test_cli_rejects_unknown_sweep(capsys):
+    assert cli_main(["run", "nope"]) == 2
+    assert "unknown sweep" in capsys.readouterr().err
+
+
+def test_cli_validates_grid_options(capsys):
+    assert cli_main(["run", "scalability", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+    assert cli_main(["run", "scalability", "--points", "abc"]) == 2
+    assert "integers" in capsys.readouterr().err
+    assert cli_main(["run", "scalability", "--seeds", ""]) == 2
+    assert "at least one seed" in capsys.readouterr().err
+    assert cli_main(["run", "scalability", "--schemes", "zigzag"]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
