@@ -39,7 +39,7 @@ def run_stage(stage: str) -> float:
     meter = ThroughputMeter()
     for i in range(4):  # L1 hosts 0-3 -> L4 hosts 12-15
         app = tb.add_elephant(i, 12 + i, start_ns=rng.randrange(usec(500)))
-        meter.track(app.flow_id, tb.hosts[12 + i])
+        meter.track(app)
 
     tb.run(msec(15))
     meter.mark_start(tb.sim.now)

@@ -29,10 +29,8 @@ def run_scheme(scheme: str, warm_ms: int = 15, measure_ms: int = 25) -> None:
     apps = []
     for src, dst in stride_pairs(n_hosts=16, stride=8):
         app = tb.add_elephant(src, dst, start_ns=rng.randrange(usec(500)))
-        apps.append((app, dst))
-        flows = app.subflow_ids if tb.is_mptcp else [app.flow_id]
-        for flow in flows:
-            meter.track(flow, tb.hosts[dst])
+        apps.append(app)
+        meter.track(app)
 
     tb.run(msec(warm_ms))                  # let windows converge
     meter.mark_start(tb.sim.now)
@@ -40,12 +38,8 @@ def run_scheme(scheme: str, warm_ms: int = 15, measure_ms: int = 25) -> None:
     meter.mark_end(tb.sim.now)
 
     per_flow = meter.flow_rates_bps()
-    rates = []
-    for app, _dst in apps:  # aggregate MPTCP subflows per connection
-        if tb.is_mptcp:
-            rates.append(sum(per_flow[f] for f in app.subflow_ids) / 1e9)
-        else:
-            rates.append(per_flow[app.flow_id] / 1e9)
+    # transfer_rate_bps aggregates MPTCP subflows back per connection
+    rates = [meter.transfer_rate_bps(app, per_flow) / 1e9 for app in apps]
     print(
         f"{scheme:>8}: mean {sum(rates) / len(rates):5.2f} Gbps/flow   "
         f"Jain fairness {jain_fairness(rates):.3f}   "

@@ -14,11 +14,12 @@ knob is exposed for longer runs (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import Testbed, TestbedConfig
 from repro.metrics.collectors import LossAccountant, ThroughputMeter
 from repro.metrics.stats import jain_fairness, mean, percentile
+from repro.telemetry import TelemetryConfig
 from repro.units import KB, msec, usec
 
 DEFAULT_WARM_NS = msec(15)
@@ -37,6 +38,11 @@ class RunResult:
     loss_rate: float
     rtts_ns: List[int] = field(default_factory=list)
     mice_fcts_ns: List[int] = field(default_factory=list)
+    #: telemetry snapshot of the run (None when telemetry is off; the
+    #: field is then omitted from serialized output entirely, keeping
+    #: telemetry-off results byte-identical to older records)
+    metrics: Optional[Dict] = field(
+        default=None, metadata={"omit_if_none": True})
 
     @property
     def mean_rate_bps(self) -> float:
@@ -57,19 +63,18 @@ def run_elephant_workload(
     mice_pairs: Sequence[Tuple[int, int]] = (),
     mice_size: int = 50 * KB,
     mice_interval_ns: int = msec(5),
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """One trial: elephants on ``pairs`` (+ optional probes and mice),
     throughput measured over [warm, warm+measure]."""
-    tb = Testbed(cfg)
+    tb = Testbed(cfg, telemetry=telemetry)
     rng = tb.streams.stream("starts")
     apps = []
     meter = ThroughputMeter()
     for src, dst in pairs:
         app = tb.add_elephant(src, dst, start_ns=rng.randrange(START_JITTER_NS))
-        apps.append((app, dst))
-        flows = app.subflow_ids if tb.is_mptcp else [app.flow_id]
-        for flow in flows:
-            meter.track(flow, tb.hosts[dst])
+        apps.append(app)
+        meter.track(app)
     probes = [
         tb.add_probe(src, dst, interval_ns=probe_interval_ns, start_ns=warm_ns // 2)
         for src, dst in probe_pairs
@@ -87,12 +92,9 @@ def run_elephant_workload(
     meter.mark_end(tb.sim.now)
 
     rates = meter.flow_rates_bps()
-    per_pair = []
-    for app, dst in apps:
-        if tb.is_mptcp:
-            per_pair.append(sum(rates[f] for f in app.subflow_ids))
-        else:
-            per_pair.append(rates[app.flow_id])
+    per_pair = [meter.transfer_rate_bps(app, rates) for app in apps]
+    snapshot = tb.telemetry.snapshot() if tb.telemetry.enabled else None
+    tb.telemetry.export_trace()
     return RunResult(
         scheme=cfg.scheme,
         seed=cfg.seed,
@@ -101,6 +103,7 @@ def run_elephant_workload(
         loss_rate=loss.loss_rate(),
         rtts_ns=[r for p in probes for r in p.rtts_ns],
         mice_fcts_ns=[f for m in mice for f in m.fcts_ns],
+        metrics=snapshot,
     )
 
 

@@ -91,8 +91,8 @@ def run_failure_stage(
         apps = []
         for src, dst in pairs:
             app = tb.add_elephant(src, dst, start_ns=rng.randrange(START_JITTER_NS))
-            apps.append((app, dst))
-            meter.track(app.flow_id, tb.hosts[dst])
+            apps.append(app)
+            meter.track(app)
         probes = []
         if with_probes:
             probes = [tb.add_probe(pairs[0][0], pairs[0][1], start_ns=warm_ns // 2),
@@ -102,7 +102,7 @@ def run_failure_stage(
         tb.run(warm_ns + measure_ns)
         meter.mark_end(tb.sim.now)
         flow_rates = meter.flow_rates_bps()
-        rates.extend(flow_rates[app.flow_id] for app, _ in apps)
+        rates.extend(flow_rates[app.flow_id] for app in apps)
         rtts.extend(r for p in probes for r in p.rtts_ns)
     return FailureResult(stage, workload, mean(rates), rtts)
 

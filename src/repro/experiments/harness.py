@@ -5,48 +5,43 @@ shares.
 A *scheme* bundles what the paper varies between compared systems: the
 edge load balancer, the receiver GRO, how transfers are opened (plain
 TCP vs MPTCP) and, for "Optimal", the topology override (a single
-non-blocking switch).
+non-blocking switch).  Schemes are declared in
+:mod:`repro.experiments.schemes`; ``SCHEMES`` here is a live view of
+that registry, so registering a new scheme makes it runnable without
+touching this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import List, Optional
 
+from repro.experiments.schemes import get_scheme, is_registered, scheme_names
 from repro.host.app import BulkApp, FlowIdAllocator, MiceApp, RttProbeApp
 from repro.host.cpu import CpuCosts
 from repro.host.gro import OfficialGro, PrestoGro
 from repro.host.host import Host
 from repro.host.tcp import TcpConfig
 from repro.lb.base import LoadBalancer
-from repro.lb.ecmp import EcmpLb
-from repro.lb.flowlet import FlowletLb
-from repro.lb.perpacket import PerPacketLb
-from repro.lb.presto_ecmp import PrestoEcmpLb
 from repro.mptcp.mptcp import MptcpConnection
-from repro.net.switch import HASH_FLOW, HASH_FLOWCELL
 from repro.net.topology import (
     Topology,
     build_clos,
     build_single_switch,
 )
 from repro.presto.controller import PrestoController
-from repro.presto.vswitch import PrestoLb
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomStreams
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
+from repro.telemetry import instrument_testbed
 from repro.units import KB, MB, gbps, msec, usec
 
-#: Schemes comparable across the paper's experiments.
-SCHEMES = (
-    "ecmp",
-    "presto",
-    "mptcp",
-    "optimal",
-    "flowlet100us",
-    "flowlet500us",
-    "perpacket",
-    "presto_ecmp",
-)
+
+def __getattr__(name: str):
+    # PEP 562: SCHEMES stays importable but reflects the live registry.
+    if name == "SCHEMES":
+        return scheme_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -102,6 +97,48 @@ class TestbedConfig:
     gro_initial_ewma_ns: Optional[int] = None
     gro_alpha: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        """Fail at construction, with actionable messages, instead of
+        deep inside topology/GRO building."""
+        if not is_registered(self.scheme):
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; pick from "
+                f"{scheme_names()} (or register it via "
+                f"repro.experiments.schemes.register)")
+        if self.gro_override not in (None, "official", "presto"):
+            raise ValueError(
+                f"gro_override must be None, 'official' or 'presto', "
+                f"got {self.gro_override!r}")
+        if self.presto_mode not in ("rr", "random"):
+            raise ValueError(
+                f"presto_mode must be 'rr' or 'random', "
+                f"got {self.presto_mode!r}")
+        for name in ("n_spines", "n_leaves", "hosts_per_leaf",
+                     "mptcp_subflows"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        for name in ("link_rate_bps", "switch_pool_bytes", "pool_alpha",
+                     "host_buffer_bytes", "flowcell_bytes"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name in ("prop_delay_ns", "failover_latency_ns"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.switch_buffer_bytes is not None and self.switch_buffer_bytes <= 0:
+            raise ValueError(
+                f"switch_buffer_bytes must be positive (or None for "
+                f"pool-only limiting), got {self.switch_buffer_bytes}")
+        if self.gro_initial_ewma_ns is not None and self.gro_initial_ewma_ns <= 0:
+            raise ValueError(
+                f"gro_initial_ewma_ns must be positive, "
+                f"got {self.gro_initial_ewma_ns}")
+        if self.gro_alpha is not None and self.gro_alpha <= 0:
+            raise ValueError(
+                f"gro_alpha must be positive, got {self.gro_alpha}")
+
     def with_scheme(self, scheme: str) -> "TestbedConfig":
         return replace(self, scheme=scheme)
 
@@ -111,11 +148,20 @@ class Testbed:
 
     __test__ = False  # not a pytest class, despite the name
 
-    def __init__(self, cfg: TestbedConfig):
-        if cfg.scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {cfg.scheme!r}; pick from {SCHEMES}")
+    def __init__(
+        self,
+        cfg: TestbedConfig,
+        telemetry: Optional[TelemetryConfig] = None,
+    ):
         self.cfg = cfg
+        self.scheme_def = get_scheme(cfg.scheme)
         self.sim = Simulator()
+        # The collector is born with the testbed because it shares the
+        # simulation clock; callers pass the *config*, not an instance.
+        self.telemetry = (
+            Telemetry(self.sim, telemetry)
+            if telemetry is not None else NULL_TELEMETRY
+        )
         self.streams = RandomStreams(cfg.seed)
         self.flow_ids = FlowIdAllocator()
         self.topo = self._build_topology()
@@ -124,15 +170,17 @@ class Testbed:
         self.controller = PrestoController(self.topo)
         for host in self.hosts:
             self.controller.register_vswitch(host.lb)
-        leaf_mode = HASH_FLOWCELL if cfg.scheme == "presto_ecmp" else HASH_FLOW
-        self.topo.install_underlay(leaf_hash_mode=leaf_mode)
+        self.topo.install_underlay(
+            leaf_hash_mode=self.scheme_def.leaf_hash_mode)
         self.apps: List[object] = []
+        if self.telemetry.enabled:
+            instrument_testbed(self)
 
     # --- construction -----------------------------------------------------------
 
     def _build_topology(self) -> Topology:
         cfg = self.cfg
-        if cfg.scheme == "optimal":
+        if self.scheme_def.single_switch:
             topo = build_single_switch(self.sim)
             topo.pool_bytes = cfg.switch_pool_bytes
             topo.pool_alpha = cfg.pool_alpha
@@ -156,28 +204,14 @@ class Testbed:
         return self.cfg.n_leaves * self.cfg.hosts_per_leaf
 
     def _make_lb(self, host_id: int) -> LoadBalancer:
-        cfg = self.cfg
         rng = self.streams.stream(f"lb{host_id}")
-        if cfg.scheme == "presto":
-            return PrestoLb(host_id, rng, threshold=cfg.flowcell_bytes,
-                            mode=cfg.presto_mode)
-        if cfg.scheme == "presto_ecmp":
-            return PrestoEcmpLb(host_id, rng, threshold=cfg.flowcell_bytes)
-        if cfg.scheme in ("ecmp", "mptcp"):
-            return EcmpLb(host_id, rng)
-        if cfg.scheme == "flowlet100us":
-            return FlowletLb(host_id, self.sim, gap_ns=usec(100), rng=rng)
-        if cfg.scheme == "flowlet500us":
-            return FlowletLb(host_id, self.sim, gap_ns=usec(500), rng=rng)
-        if cfg.scheme == "perpacket":
-            return PerPacketLb(host_id, rng)
-        return LoadBalancer(host_id, rng)  # optimal: single direct path
+        return self.scheme_def.make_lb(self.cfg, host_id, rng, self.sim)
 
     def _make_gro(self):
         cfg = self.cfg
         kind = cfg.gro_override
         if kind is None:
-            kind = "presto" if cfg.scheme in ("presto", "presto_ecmp") else "official"
+            kind = self.scheme_def.gro
         if kind == "presto":
             kwargs = dict(
                 adaptive=cfg.gro_adaptive,
@@ -204,7 +238,7 @@ class Testbed:
                 tcp_cfg=cfg.tcp,
                 model_cpu=cfg.model_cpu,
             )
-            if cfg.scheme == "optimal":
+            if self.scheme_def.single_switch:
                 leaf = self.topo.leaves[0]
             else:
                 leaf = self.topo.leaves[host_id // cfg.hosts_per_leaf]
@@ -231,7 +265,7 @@ class Testbed:
 
     @property
     def is_mptcp(self) -> bool:
-        return self.cfg.scheme == "mptcp"
+        return self.scheme_def.transport == "mptcp"
 
     # --- traffic ----------------------------------------------------------------
 
@@ -345,12 +379,13 @@ class MptcpMiceApp:
         self.stop_ns = stop_ns
         self.fcts_ns: List[int] = []
         self.sent = 0
+        self._conns: List[MptcpConnection] = []
         tb.sim.schedule(start_ns, self._tick)
 
     def _tick(self) -> None:
         if self.stop_ns is not None and self.tb.sim.now >= self.stop_ns:
             return
-        MptcpConnection(
+        conn = MptcpConnection(
             self.tb.sim,
             self.tb.hosts[self.src],
             self.tb.hosts[self.dst],
@@ -359,12 +394,27 @@ class MptcpMiceApp:
             size_bytes=self.size_bytes,
             on_complete=self._done,
         )
+        self._conns.append(conn)
         self.sent += 1
         self.tb.sim.schedule(self.interval_ns, self._tick)
 
     def _done(self, conn: MptcpConnection) -> None:
         if conn.fct_ns is not None:
             self.fcts_ns.append(conn.fct_ns)
+
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> tuple:
+        return tuple(f for conn in self._conns for f in conn.flow_ids())
+
+    def delivered_by_flow(self) -> dict:
+        out: dict = {}
+        for conn in self._conns:
+            out.update(conn.delivered_by_flow())
+        return out
+
+    def delivered_bytes(self) -> int:
+        return sum(conn.delivered_bytes() for conn in self._conns)
 
 
 def format_table(headers: List[str], rows: List[List[object]]) -> str:

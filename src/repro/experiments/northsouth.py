@@ -66,10 +66,8 @@ def run_northsouth(
         rng = tb.streams.stream("starts")
         for src, dst in stride_pairs(16, 8):
             app = tb.add_elephant(src, dst, start_ns=rng.randrange(usec(500)))
-            apps.append((app, dst))
-            flows = app.subflow_ids if tb.is_mptcp else [app.flow_id]
-            for f in flows:
-                meter.track(f, tb.hosts[dst])
+            apps.append(app)
+            meter.track(app)
         mice_apps = [
             tb.add_mice(src, dst, size_bytes=50 * KB,
                         interval_ns=mice_interval_ns, start_ns=warm_ns // 2)
@@ -80,11 +78,7 @@ def run_northsouth(
         tb.run(warm_ns + measure_ns)
         meter.mark_end(tb.sim.now)
         flow_rates = meter.flow_rates_bps()
-        for app, dst in apps:
-            if tb.is_mptcp:
-                rates.append(sum(flow_rates[f] for f in app.subflow_ids))
-            else:
-                rates.append(flow_rates[app.flow_id])
+        rates.extend(meter.transfer_rate_bps(app, flow_rates) for app in apps)
         run_fcts = [f for m in mice_apps for f in m.fcts_ns]
         fcts.extend(run_fcts)
         # "TIMEOUT" detection: FCTs that ate at least one RTO floor

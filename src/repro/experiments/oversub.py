@@ -24,6 +24,7 @@ from repro.experiments.common import (
 from repro.experiments.harness import TestbedConfig
 from repro.metrics.stats import jain_fairness, mean
 from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
+from repro.telemetry import TelemetryConfig, per_cell_telemetry
 
 DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
 
@@ -57,13 +58,15 @@ def run_oversub_seed(
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """One (scheme, pair count, seed) trial — the picklable job unit."""
     n_pairs = cfg.hosts_per_leaf
     pairs = [(i, n_pairs + i) for i in range(n_pairs)]
     probe_pairs = [(0, n_pairs)] if with_probes else []
     return run_elephant_workload(
-        cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
+        cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs,
+        telemetry=telemetry,
     )
 
 
@@ -106,21 +109,28 @@ def oversub_specs(
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[JobSpec]:
-    """The full grid as runner jobs, ordered scheme > pair count > seed."""
-    return [
-        JobSpec.make(
-            run_oversub_seed,
-            cfg=oversub_config(scheme, n_pairs, seed),
-            label=f"oversub/{scheme}/pairs{n_pairs}/seed{seed}",
-            warm_ns=warm_ns,
-            measure_ns=measure_ns,
-            with_probes=with_probes,
-        )
-        for scheme in schemes
-        for n_pairs in pair_counts
-        for seed in seeds
-    ]
+    """The full grid as runner jobs, ordered scheme > pair count > seed.
+
+    ``telemetry`` joins a job's kwargs only when set, so default sweeps
+    keep their historical content hashes (cache keys stay warm)."""
+    specs = []
+    for scheme in schemes:
+        for n_pairs in pair_counts:
+            for seed in seeds:
+                label = f"oversub/{scheme}/pairs{n_pairs}/seed{seed}"
+                kwargs = dict(
+                    cfg=oversub_config(scheme, n_pairs, seed),
+                    label=label,
+                    warm_ns=warm_ns,
+                    measure_ns=measure_ns,
+                    with_probes=with_probes,
+                )
+                if telemetry is not None:
+                    kwargs["telemetry"] = per_cell_telemetry(telemetry, label)
+                specs.append(JobSpec.make(run_oversub_seed, **kwargs))
+    return specs
 
 
 def run_oversub(
@@ -135,9 +145,11 @@ def run_oversub(
     force: bool = False,
     timeout_s: Optional[float] = None,
     log=None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Dict[str, List[OversubPoint]]:
     """The full Figs 10-12 grid, fanned out through the runner."""
-    specs = oversub_specs(schemes, pair_counts, seeds, warm_ns, measure_ns)
+    specs = oversub_specs(schemes, pair_counts, seeds, warm_ns, measure_ns,
+                          telemetry=telemetry)
     outcomes = run_jobs(
         specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
     )

@@ -25,6 +25,7 @@ from repro.experiments.common import (
 from repro.experiments.harness import TestbedConfig
 from repro.metrics.stats import jain_fairness, mean
 from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
+from repro.telemetry import TelemetryConfig, per_cell_telemetry
 
 DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
 
@@ -53,13 +54,15 @@ def run_scalability_seed(
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> RunResult:
     """One (scheme, path count, seed) trial — the picklable job unit."""
     n_paths = cfg.n_spines
     pairs = [(i, n_paths + i) for i in range(n_paths)]
     probe_pairs = [(0, n_paths)] if with_probes else []
     return run_elephant_workload(
-        cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs
+        cfg, pairs, warm_ns, measure_ns, probe_pairs=probe_pairs,
+        telemetry=telemetry,
     )
 
 
@@ -103,21 +106,28 @@ def scalability_specs(
     warm_ns: int = DEFAULT_WARM_NS,
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[JobSpec]:
-    """The full grid as runner jobs, ordered scheme > path count > seed."""
-    return [
-        JobSpec.make(
-            run_scalability_seed,
-            cfg=scalability_config(scheme, n_paths, seed),
-            label=f"scalability/{scheme}/paths{n_paths}/seed{seed}",
-            warm_ns=warm_ns,
-            measure_ns=measure_ns,
-            with_probes=with_probes,
-        )
-        for scheme in schemes
-        for n_paths in path_counts
-        for seed in seeds
-    ]
+    """The full grid as runner jobs, ordered scheme > path count > seed.
+
+    ``telemetry`` joins a job's kwargs only when set, so default sweeps
+    keep their historical content hashes (cache keys stay warm)."""
+    specs = []
+    for scheme in schemes:
+        for n_paths in path_counts:
+            for seed in seeds:
+                label = f"scalability/{scheme}/paths{n_paths}/seed{seed}"
+                kwargs = dict(
+                    cfg=scalability_config(scheme, n_paths, seed),
+                    label=label,
+                    warm_ns=warm_ns,
+                    measure_ns=measure_ns,
+                    with_probes=with_probes,
+                )
+                if telemetry is not None:
+                    kwargs["telemetry"] = per_cell_telemetry(telemetry, label)
+                specs.append(JobSpec.make(run_scalability_seed, **kwargs))
+    return specs
 
 
 def run_scalability(
@@ -132,6 +142,7 @@ def run_scalability(
     force: bool = False,
     timeout_s: Optional[float] = None,
     log=None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Dict[str, List[ScalabilityPoint]]:
     """The full Figs 7-9 grid, fanned out through the runner.
 
@@ -140,7 +151,8 @@ def run_scalability(
     processes, and ``store`` makes the sweep resumable.
     """
     specs = scalability_specs(
-        schemes, path_counts, seeds, warm_ns, measure_ns
+        schemes, path_counts, seeds, warm_ns, measure_ns,
+        telemetry=telemetry,
     )
     outcomes = run_jobs(
         specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log

@@ -1,0 +1,157 @@
+"""Declarative scheme registry.
+
+A *scheme* bundles everything the paper varies between compared
+systems: how the edge picks paths (the load balancer factory), which
+receiver GRO runs, the transport (TCP vs MPTCP), whether the topology
+is the "Optimal" single switch, and how leaf ECMP groups hash.
+
+Adding a scheme no longer touches the harness::
+
+    from repro.experiments.schemes import Scheme, register
+
+    register(Scheme(
+        name="flowlet50us",
+        description="flowlet switching, 50 us gap",
+        make_lb=lambda cfg, host_id, rng, sim: FlowletLb(
+            host_id, sim, gap_ns=usec(50), rng=rng),
+    ))
+
+and it is immediately runnable everywhere (``Testbed``, the sweep
+CLI's ``--schemes``, plotting scripts) because ``SCHEMES`` in
+:mod:`repro.experiments.harness` is a live view of this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.lb.base import LoadBalancer
+from repro.lb.ecmp import EcmpLb
+from repro.lb.flowlet import FlowletLb
+from repro.lb.perpacket import PerPacketLb
+from repro.lb.presto_ecmp import PrestoEcmpLb
+from repro.net.switch import HASH_FLOW, HASH_FLOWCELL
+from repro.presto.vswitch import PrestoLb
+from repro.units import usec
+
+#: LB factory signature: (cfg, host_id, rng, sim) -> LoadBalancer
+LbFactory = Callable[..., LoadBalancer]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One comparable system, declaratively."""
+
+    name: str
+    #: builds each host's edge load balancer
+    make_lb: LbFactory
+    description: str = ""
+    #: receiver GRO this scheme runs by default: "official" | "presto"
+    gro: str = "official"
+    #: transport transfers use: "tcp" | "mptcp"
+    transport: str = "tcp"
+    #: "Optimal" runs on one non-blocking switch instead of the Clos
+    single_switch: bool = False
+    #: hash mode for leaf ECMP groups over the uplinks
+    leaf_hash_mode: str = HASH_FLOW
+
+
+_REGISTRY: Dict[str, Scheme] = {}
+
+
+def register(scheme: Scheme) -> Scheme:
+    """Add ``scheme`` to the registry.  Name collisions are an error —
+    re-registering would silently change what every experiment runs."""
+    if scheme.name in _REGISTRY:
+        raise ValueError(f"scheme {scheme.name!r} is already registered")
+    if scheme.gro not in ("official", "presto"):
+        raise ValueError(
+            f"scheme {scheme.name!r}: gro must be 'official' or 'presto', "
+            f"got {scheme.gro!r}")
+    if scheme.transport not in ("tcp", "mptcp"):
+        raise ValueError(
+            f"scheme {scheme.name!r}: transport must be 'tcp' or 'mptcp', "
+            f"got {scheme.transport!r}")
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def get_scheme(name: str) -> Scheme:
+    scheme = _REGISTRY.get(name)
+    if scheme is None:
+        raise ValueError(
+            f"unknown scheme {name!r}; pick from {scheme_names()} "
+            f"(or register it via repro.experiments.schemes.register)")
+    return scheme
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """All registered scheme names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+# --- the paper's eight comparable systems ------------------------------------
+# Registration order is the canonical SCHEMES order experiments iterate
+# in, so keep the original tuple's sequence.
+
+register(Scheme(
+    name="ecmp",
+    description="per-flow ECMP hashing at the leaves (the baseline)",
+    make_lb=lambda cfg, host_id, rng, sim: EcmpLb(host_id, rng),
+))
+
+register(Scheme(
+    name="presto",
+    description="64 KB flowcells sprayed over shadow-MAC spanning trees",
+    make_lb=lambda cfg, host_id, rng, sim: PrestoLb(
+        host_id, rng, threshold=cfg.flowcell_bytes, mode=cfg.presto_mode),
+    gro="presto",
+))
+
+register(Scheme(
+    name="mptcp",
+    description="MPTCP with per-subflow ECMP paths (8 subflows)",
+    make_lb=lambda cfg, host_id, rng, sim: EcmpLb(host_id, rng),
+    transport="mptcp",
+))
+
+register(Scheme(
+    name="optimal",
+    description="all hosts on one non-blocking switch (upper bound)",
+    make_lb=lambda cfg, host_id, rng, sim: LoadBalancer(host_id, rng),
+    single_switch=True,
+))
+
+register(Scheme(
+    name="flowlet100us",
+    description="flowlet switching with a 100 us idle gap",
+    make_lb=lambda cfg, host_id, rng, sim: FlowletLb(
+        host_id, sim, gap_ns=usec(100), rng=rng),
+))
+
+register(Scheme(
+    name="flowlet500us",
+    description="flowlet switching with a 500 us idle gap",
+    make_lb=lambda cfg, host_id, rng, sim: FlowletLb(
+        host_id, sim, gap_ns=usec(500), rng=rng),
+))
+
+register(Scheme(
+    name="perpacket",
+    description="per-packet random spraying (maximal reordering)",
+    make_lb=lambda cfg, host_id, rng, sim: PerPacketLb(host_id, rng),
+))
+
+register(Scheme(
+    name="presto_ecmp",
+    description="Presto flowcells with per-hop (flow, cell) ECMP hashing",
+    make_lb=lambda cfg, host_id, rng, sim: PrestoEcmpLb(
+        host_id, rng, threshold=cfg.flowcell_bytes),
+    gro="presto",
+    leaf_hash_mode=HASH_FLOWCELL,
+))

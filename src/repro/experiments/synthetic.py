@@ -28,6 +28,7 @@ from repro.experiments.harness import Testbed, TestbedConfig
 from repro.metrics.stats import mean
 from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
 from repro.sim.rand import RandomStreams
+from repro.telemetry import TelemetryConfig, per_cell_telemetry
 from repro.units import KB, MB, SEC, msec
 from repro.workloads.synthetic import (
     random_bijection_pairs,
@@ -60,6 +61,9 @@ class SyntheticSeedRun:
     seed: int
     rates_bps: List[float] = field(default_factory=list)
     mice_fcts_ns: List[int] = field(default_factory=list)
+    #: telemetry snapshot (omitted from serialized output when off)
+    metrics: Optional[Dict] = field(
+        default=None, metadata={"omit_if_none": True})
 
 
 def _pairs_for(workload: str, n_hosts: int, hosts_per_pod: int, seed: int):
@@ -86,24 +90,27 @@ def run_synthetic_seed(
     with_mice: bool = True,
     mice_interval_ns: int = msec(5),
     shuffle_transfer_bytes: int = 8 * MB,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> SyntheticSeedRun:
     """One (scheme, workload, seed) trial — the picklable job unit."""
     _check_workload(workload)
     if workload == "shuffle":
         return _run_shuffle_seed(
             cfg, warm_ns, measure_ns, with_mice, mice_interval_ns,
-            shuffle_transfer_bytes,
+            shuffle_transfer_bytes, telemetry=telemetry,
         )
     pairs = _pairs_for(workload, 16, 4, cfg.seed)
     mice_pairs = pairs[::4] if with_mice else []
     run = run_elephant_workload(
         cfg, pairs, warm_ns, measure_ns,
         mice_pairs=mice_pairs, mice_interval_ns=mice_interval_ns,
+        telemetry=telemetry,
     )
     return SyntheticSeedRun(
         scheme=cfg.scheme, workload=workload, seed=cfg.seed,
         rates_bps=list(run.per_pair_rates_bps),
         mice_fcts_ns=list(run.mice_fcts_ns),
+        metrics=run.metrics,
     )
 
 
@@ -114,12 +121,13 @@ def _run_shuffle_seed(
     with_mice: bool,
     mice_interval_ns: int,
     transfer_bytes: int,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> SyntheticSeedRun:
     """Shuffle is closed-loop (2 concurrent sized transfers per host), so
     it cannot reuse the open-loop elephant runner.  Throughput is the
     aggregate receive rate per host over the measurement window (the
     receiver NIC is the bottleneck, as the paper notes)."""
-    tb = Testbed(cfg)
+    tb = Testbed(cfg, telemetry=telemetry)
     rng = tb.streams.stream("shuffle")
     wl = shuffle_workload(tb, transfer_bytes, concurrent=2, rng=rng)
     wl.start()
@@ -142,10 +150,13 @@ def _run_shuffle_seed(
     for h in tb.hosts:
         end = sum(r.delivered_bytes for r in h.receivers.values())
         rates.append((end - delivered_start[h.host_id]) * 8 * SEC / measure_ns)
+    snapshot = tb.telemetry.snapshot() if tb.telemetry.enabled else None
+    tb.telemetry.export_trace()
     return SyntheticSeedRun(
         scheme=cfg.scheme, workload="shuffle", seed=cfg.seed,
         rates_bps=rates,
         mice_fcts_ns=[f for m in mice_apps for f in m.fcts_ns],
+        metrics=snapshot,
     )
 
 
@@ -186,25 +197,32 @@ def synthetic_specs(
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_mice: bool = True,
     mice_interval_ns: int = msec(5),
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> List[JobSpec]:
-    """The full grid as runner jobs, ordered workload > scheme > seed."""
+    """The full grid as runner jobs, ordered workload > scheme > seed.
+
+    ``telemetry`` joins a job's kwargs only when set, so default sweeps
+    keep their historical content hashes (cache keys stay warm)."""
     for workload in workloads:
         _check_workload(workload)
-    return [
-        JobSpec.make(
-            run_synthetic_seed,
-            cfg=TestbedConfig(scheme=scheme, seed=seed),
-            label=f"synthetic/{workload}/{scheme}/seed{seed}",
-            workload=workload,
-            warm_ns=warm_ns,
-            measure_ns=measure_ns,
-            with_mice=with_mice,
-            mice_interval_ns=mice_interval_ns,
-        )
-        for workload in workloads
-        for scheme in schemes
-        for seed in seeds
-    ]
+    specs = []
+    for workload in workloads:
+        for scheme in schemes:
+            for seed in seeds:
+                label = f"synthetic/{workload}/{scheme}/seed{seed}"
+                kwargs = dict(
+                    cfg=TestbedConfig(scheme=scheme, seed=seed),
+                    label=label,
+                    workload=workload,
+                    warm_ns=warm_ns,
+                    measure_ns=measure_ns,
+                    with_mice=with_mice,
+                    mice_interval_ns=mice_interval_ns,
+                )
+                if telemetry is not None:
+                    kwargs["telemetry"] = per_cell_telemetry(telemetry, label)
+                specs.append(JobSpec.make(run_synthetic_seed, **kwargs))
+    return specs
 
 
 def run_figure15_16(
@@ -219,9 +237,11 @@ def run_figure15_16(
     force: bool = False,
     timeout_s: Optional[float] = None,
     log=None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> Dict[Tuple[str, str], SyntheticResult]:
     """The full Figs 15/16 grid, fanned out through the runner."""
-    specs = synthetic_specs(schemes, workloads, seeds, warm_ns, measure_ns)
+    specs = synthetic_specs(schemes, workloads, seeds, warm_ns, measure_ns,
+                            telemetry=telemetry)
     outcomes = run_jobs(
         specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
     )

@@ -11,9 +11,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.host.host import Host
+from repro.host.transfer import delivered_for
 from repro.sim.engine import Simulator
 from repro.units import KB, msec
 
@@ -65,14 +66,26 @@ class BulkApp:
         if self.on_complete is not None:
             self.on_complete(self)
 
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> Tuple[int, ...]:
+        return (self.flow_id,)
+
+    def delivered_by_flow(self) -> Dict[int, int]:
+        return {self.flow_id: delivered_for(self.dst, self.flow_id)}
+
     def delivered_bytes(self) -> int:
-        receiver = self.dst.receivers.get(self.flow_id)
-        return receiver.delivered_bytes if receiver is not None else 0
+        return delivered_for(self.dst, self.flow_id)
 
     @property
     def fct_ns(self):
         """Flow completion time (None while incomplete or unbounded)."""
         return self.sender.fct_ns if self.sender is not None else None
+
+    @property
+    def fcts_ns(self) -> Tuple[int, ...]:
+        fct = self.fct_ns
+        return (fct,) if fct is not None else ()
 
 
 class MiceApp:
@@ -97,26 +110,39 @@ class MiceApp:
         self.sim = sim
         self.src = src
         self.dst = dst
-        self.flow_ids = flow_ids
+        self._allocator = flow_ids
         self.size_bytes = size_bytes
         self.interval_ns = interval_ns
         self.stop_ns = stop_ns
         self.fcts_ns: List[int] = []
         self.sent = 0
+        self._spawned: List[int] = []
         sim.schedule(start_ns, self._tick)
 
     def _tick(self) -> None:
         if self.stop_ns is not None and self.sim.now >= self.stop_ns:
             return
-        flow_id = self.flow_ids.next()
+        flow_id = self._allocator.next()
         sender = self.src.open_sender(flow_id, self.dst.host_id, on_complete=self._done)
         sender.write(self.size_bytes)
         self.sent += 1
+        self._spawned.append(flow_id)
         self.sim.schedule(self.interval_ns, self._tick)
 
     def _done(self, sender) -> None:
         if sender.fct_ns is not None:
             self.fcts_ns.append(sender.fct_ns)
+
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> Tuple[int, ...]:
+        return tuple(self._spawned)
+
+    def delivered_by_flow(self) -> Dict[int, int]:
+        return {f: delivered_for(self.dst, f) for f in self._spawned}
+
+    def delivered_bytes(self) -> int:
+        return sum(delivered_for(self.dst, f) for f in self._spawned)
 
 
 class RttProbeApp:
@@ -176,3 +202,22 @@ class RttProbeApp:
                 self._sent_at = None
                 delay = max(0, self.interval_ns)
                 self.sim.schedule(delay, self._send_probe)
+
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> Tuple[int, ...]:
+        return (self._c2s, self._s2c)
+
+    def delivered_by_flow(self) -> Dict[int, int]:
+        return {
+            self._c2s: delivered_for(self.server, self._c2s),
+            self._s2c: delivered_for(self.client, self._s2c),
+        }
+
+    def delivered_bytes(self) -> int:
+        return sum(self.delivered_by_flow().values())
+
+    @property
+    def fcts_ns(self) -> Tuple[int, ...]:
+        """Probes are open-ended; they record RTTs, not completions."""
+        return ()

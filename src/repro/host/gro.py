@@ -46,6 +46,8 @@ class GroBase:
 
     #: name used in experiment tables
     name = "gro"
+    #: optional telemetry probe (repro.telemetry); None = disabled
+    probe = None
 
     def merge(self, pkt: Packet, now: int) -> None:
         raise NotImplementedError
@@ -87,6 +89,8 @@ class OfficialGro(GroBase):
             # segment flooding path under reordering).
             self._ready.append(seg)
             self.evicted_segments += 1
+            if self.probe is not None:
+                self.probe.on_evict(pkt.flow_id, seg, now)
         seg = Segment.from_packet(pkt)
         seg.created_at = now
         seg.last_merge_at = now
@@ -177,21 +181,27 @@ class PrestoGro(GroBase):
     def flush(self, now: int) -> List[Segment]:
         out = self._ready
         self._ready = []
-        for flow in self._flows.values():
+        probe = self.probe
+        for flow_id, flow in self._flows.items():
             if not flow.segments:
                 continue
             flow.segments.sort(key=lambda s: s.seq)
             held: List[Segment] = []
+            pushed_from = len(out)
             for seg in flow.segments:
                 cell = seg.flowcell_id
                 if cell == flow.last_flowcell:
                     # Same path as the in-order stream: any gap is loss;
                     # push regardless (lines 3-5).
                     if self.loss_detection or flow.exp_seq >= seg.seq:
+                        if probe is not None and flow.exp_seq < seg.seq:
+                            probe.on_loss_detected(flow_id, seg, now)
                         flow.exp_seq = max(flow.exp_seq, seg.end_seq)
                         out.append(seg)
                     elif self._timed_out(seg, flow, now):
                         self.timeout_fires += 1
+                        if probe is not None:
+                            probe.on_timeout(flow_id, seg, now)
                         flow.exp_seq = max(flow.exp_seq, seg.end_seq)
                         out.append(seg)
                     else:
@@ -201,7 +211,8 @@ class PrestoGro(GroBase):
                         # Boundary gap resolved in order: if this segment
                         # had been held, its wait is a reordering sample.
                         if seg.created_at < now:
-                            self._sample_reorder(flow, now - seg.created_at)
+                            self._sample_reorder(
+                                flow_id, flow, now - seg.created_at)
                         flow.last_flowcell = cell
                         flow.exp_seq = seg.end_seq
                         out.append(seg)
@@ -218,11 +229,13 @@ class PrestoGro(GroBase):
                         out.append(seg)
                     elif self._timed_out(seg, flow, now):
                         self.timeout_fires += 1
+                        if probe is not None:
+                            probe.on_timeout(flow_id, seg, now)
                         # Feed the wait into the EWMA as well: if real
                         # reordering routinely outlives the timeout, the
                         # timeout must grow, else it would keep leaking
                         # reordering while never observing a long sample.
-                        self._sample_reorder(flow, now - seg.created_at)
+                        self._sample_reorder(flow_id, flow, now - seg.created_at)
                         flow.last_flowcell = cell
                         flow.exp_seq = seg.end_seq
                         out.append(seg)
@@ -232,6 +245,9 @@ class PrestoGro(GroBase):
                     # Stale flowcell (late retransmission): push (line 20).
                     out.append(seg)
             flow.segments = held
+            if probe is not None:
+                for seg in out[pushed_from:]:
+                    probe.on_push(flow_id, seg, now)
         return out
 
     def _timed_out(self, seg: Segment, flow: _PrestoFlow, now: int) -> bool:
@@ -243,10 +259,12 @@ class PrestoGro(GroBase):
             return False
         return True
 
-    def _sample_reorder(self, flow: _PrestoFlow, wait_ns: int) -> None:
+    def _sample_reorder(self, flow_id: int, flow: _PrestoFlow, wait_ns: int) -> None:
         if wait_ns <= 0:
             return
         self.reorder_samples += 1
+        if self.probe is not None:
+            self.probe.on_reorder_sample(flow_id, wait_ns)
         if self.adaptive:
             flow.ewma_ns = (1 - EWMA_GAIN) * flow.ewma_ns + EWMA_GAIN * wait_ns
 

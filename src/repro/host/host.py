@@ -17,6 +17,9 @@ from repro.sim.engine import Simulator
 class Host:
     """One server: single NIC, one receive core, a vSwitch datapath."""
 
+    #: optional telemetry probe for this host's TCP stack (repro.telemetry)
+    tcp_probe = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -57,6 +60,18 @@ class Host:
         #: vSwitch labelled it (used by the flowlet-size analysis).
         self.tx_tap: Optional[Callable[[Segment], None]] = None
         self.topo = None
+
+    # --- counters ---------------------------------------------------------------
+
+    @property
+    def tx_pkts(self) -> int:
+        """Wire packets this host has queued for transmission."""
+        return self.nic.tx_pkts
+
+    @property
+    def rx_ring_drops(self) -> int:
+        """Packets lost to NIC ring overflow (receive-side livelock)."""
+        return self.nic.ring_drops
 
     # --- topology wiring --------------------------------------------------------
 

@@ -83,6 +83,8 @@ class Nic:
         self.rx_pkts = 0
         self.tx_pkts = 0
         self.tx_segments = 0
+        #: optional telemetry probe (repro.telemetry); None = disabled
+        self.probe = None
 
     # --- transmit ---------------------------------------------------------------
 
@@ -152,6 +154,8 @@ class Nic:
     def rx(self, pkt: Packet) -> None:
         if len(self._ring) >= self.ring_slots:
             self.ring_drops += 1
+            if self.probe is not None:
+                self.probe.on_ring_drop(pkt)
             return
         self.rx_pkts += 1
         self._ring.append(pkt)
@@ -201,6 +205,9 @@ class Nic:
             cost += costs.segment_push_cost(seg.payload_len)
         self.cpu.consume(cost)
         self.cpu.checkpoint()
+        if self.probe is not None:
+            self.probe.on_poll(
+                now, cost, self.poll_budget - budget, len(segments))
         for pkt in acks:
             self.on_ack_packet(pkt)
         for seg in segments:

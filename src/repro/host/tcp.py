@@ -97,6 +97,7 @@ class TcpSender:
         #: retransmission itself died (Linux tcp_mark_lost_retrans) and we
         #: may re-send it without waiting for the RTO.
         self._fack_at_last_retx = 0
+        self._recovery_started = 0
 
         self.start_time: Optional[int] = None
         self.complete_time: Optional[int] = None
@@ -290,6 +291,10 @@ class TcpSender:
                 if ack >= self.recover_seq:
                     self.state = OPEN
                     self.cc.on_exit_recovery(now)
+                    probe = self.host.tcp_probe
+                    if probe is not None:
+                        probe.on_recovery_end(
+                            self.flow_id, self._recovery_started, now)
                 else:
                     # partial ACK: keep retransmitting holes
                     self.retx_high = max(self.retx_high, self.snd_una)
@@ -344,8 +349,12 @@ class TcpSender:
         self.recover_seq = self.snd_nxt
         self.retx_high = self.snd_una
         self._prr_quota = float(self.cfg.mss)  # head retransmission
+        self._recovery_started = self.sim.now
         flight = self.snd_nxt - self.snd_una
         self.cc.on_enter_recovery(flight, self.sim.now)
+        probe = self.host.tcp_probe
+        if probe is not None:
+            probe.on_fast_retransmit(self.flow_id, self.snd_una, self.snd_nxt)
 
     # --- RTO ----------------------------------------------------------------------
 
@@ -400,6 +409,9 @@ class TcpSender:
             return
         self.timeouts += 1
         self._backoff = min(self._backoff * 2, 64)
+        probe = self.host.tcp_probe
+        if probe is not None:
+            probe.on_rto(self.flow_id, self.snd_una, self.snd_nxt, self.rto_ns)
         self.state = LOSS
         self.recover_seq = self.snd_nxt
         self.retx_high = self.snd_una

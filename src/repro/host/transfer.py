@@ -1,0 +1,55 @@
+"""The unified transfer interface every traffic application satisfies.
+
+``add_elephant``/``add_mice``/``add_probe`` historically returned
+objects with inconsistent shapes (``delivered_bytes()`` vs ``fcts_ns``
+vs ``fct_ns``), forcing measurement code to branch on transport and
+reach into ``host.receivers`` internals.  :class:`Transfer` is the
+contract the collectors consume instead:
+
+* ``flow_ids()`` — the wire flows this transfer occupies, in a stable
+  order (an MPTCP connection returns its subflows);
+* ``delivered_by_flow()`` — per-flow in-order bytes delivered at the
+  receiver so far;
+* ``delivered_bytes()`` — the sum, i.e. transfer goodput so far;
+* ``fcts_ns`` — completion times recorded so far (empty for unbounded
+  or unfinished transfers; one entry per completed request for mice).
+
+Implemented by :class:`~repro.host.app.BulkApp`,
+:class:`~repro.host.app.MiceApp`, :class:`~repro.host.app.RttProbeApp`,
+:class:`~repro.mptcp.mptcp.MptcpConnection` and
+:class:`~repro.experiments.harness.MptcpMiceApp`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Sequence, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class Transfer(Protocol):
+    """What the measurement layer may assume about any transfer."""
+
+    def flow_ids(self) -> Tuple[int, ...]:
+        """Wire flow ids in use, in a stable order."""
+        ...
+
+    def delivered_by_flow(self) -> Dict[int, int]:
+        """In-order bytes delivered at the receiver, per flow."""
+        ...
+
+    def delivered_bytes(self) -> int:
+        """Total in-order bytes delivered across all flows."""
+        ...
+
+    @property
+    def fcts_ns(self) -> Sequence[int]:
+        """Completion times recorded so far (ns)."""
+        ...
+
+
+def delivered_for(host, flow_id: int) -> int:
+    """Receiver-side delivered byte count for one flow (0 before any
+    data arrives) — the single place measurement code touches
+    ``host.receivers``."""
+    receiver = host.receivers.get(flow_id)
+    return receiver.delivered_bytes if receiver is not None else 0

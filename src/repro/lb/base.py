@@ -20,6 +20,8 @@ class LoadBalancer:
     """
 
     name = "base"
+    #: optional telemetry probe (repro.telemetry); None = disabled
+    probe = None
 
     def __init__(self, host_id: int, rng: Optional[random.Random] = None):
         self.host_id = host_id

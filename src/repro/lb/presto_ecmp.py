@@ -30,3 +30,5 @@ class PrestoEcmpLb(LoadBalancer):
         _, cell = self.tagger.tag(seg.flow_id, seg.payload_len, n_paths)
         seg.dst_mac = host_mac(seg.dst_host)
         seg.flowcell_id = cell
+        if self.probe is not None:
+            self.probe.on_flowcell(seg, -1, cell)

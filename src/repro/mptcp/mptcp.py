@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 
 from repro.host.app import FlowIdAllocator
 from repro.host.host import Host
+from repro.host.transfer import delivered_for
 from repro.mptcp.coupled import CoupledCc, CoupledGroup
 from repro.sim.engine import Simulator
 
@@ -103,13 +104,24 @@ class MptcpConnection:
             return None
         return self.complete_time - self.start_time
 
+    def timeouts(self) -> int:
+        return sum(s.timeouts for s in self.senders)
+
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> tuple:
+        return tuple(self.subflow_ids)
+
+    def delivered_by_flow(self) -> dict:
+        return {f: delivered_for(self.dst, f) for f in self.subflow_ids}
+
     def delivered_bytes(self) -> int:
         total = 0
         for flow_id in self.subflow_ids:
-            receiver = self.dst.receivers.get(flow_id)
-            if receiver is not None:
-                total += receiver.delivered_bytes
+            total += delivered_for(self.dst, flow_id)
         return total
 
-    def timeouts(self) -> int:
-        return sum(s.timeouts for s in self.senders)
+    @property
+    def fcts_ns(self) -> tuple:
+        fct = self.fct_ns
+        return (fct,) if fct is not None else ()

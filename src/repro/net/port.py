@@ -78,8 +78,7 @@ class Port:
     def send(self, pkt: Packet) -> bool:
         """Queue ``pkt`` for transmission.  Returns False on drop."""
         if not self.link.up:
-            self.queue.dropped_pkts += 1
-            self.queue.dropped_bytes += pkt.wire_size
+            self.queue.record_drop(pkt, "link_down")
             return False
         if not self.queue.enqueue(pkt):
             return False
@@ -124,6 +123,10 @@ class Port:
         """Flush queued packets when the cable dies."""
         dropped = self.queue.clear()
         self.queue.dropped_pkts += dropped
+        if dropped:
+            self.queue.drop_causes["link_down"] = (
+                self.queue.drop_causes.get("link_down", 0) + dropped
+            )
         self._busy = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

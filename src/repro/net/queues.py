@@ -71,19 +71,33 @@ class DropTailQueue:
         self.enqueued_bytes = 0
         self.dropped_pkts = 0
         self.dropped_bytes = 0
+        #: drops split by cause: "cap" (per-port hard cap), "pool"
+        #: (shared-buffer DT admission), "link_down"
+        self.drop_causes: dict = {}
+        #: optional telemetry probe (repro.telemetry); None = disabled
+        self.probe = None
 
     def __len__(self) -> int:
         return len(self._queue)
 
+    def record_drop(self, pkt: Packet, cause: str) -> None:
+        """Count a dropped packet against ``cause``."""
+        self.dropped_pkts += 1
+        self.dropped_bytes += pkt.wire_size
+        self.drop_causes[cause] = self.drop_causes.get(cause, 0) + 1
+        if self.probe is not None:
+            self.probe.on_drop(pkt, cause, self.bytes_queued)
+
     def enqueue(self, pkt: Packet) -> bool:
         """Add ``pkt``; returns False (and counts a drop) when full."""
         size = pkt.wire_size
-        if self.bytes_queued + size > self.capacity_bytes or (
-            self.shared is not None
-            and not self.shared.admits(size, self.bytes_queued)
+        if self.bytes_queued + size > self.capacity_bytes:
+            self.record_drop(pkt, "cap")
+            return False
+        if self.shared is not None and not self.shared.admits(
+            size, self.bytes_queued
         ):
-            self.dropped_pkts += 1
-            self.dropped_bytes += size
+            self.record_drop(pkt, "pool")
             return False
         if self.shared is not None:
             self.shared.take(size)
@@ -93,6 +107,8 @@ class DropTailQueue:
         self.enqueued_bytes += size
         if self.track_flows:
             self.flow_bytes[pkt.flow_id] = self.flow_bytes.get(pkt.flow_id, 0) + size
+        if self.probe is not None:
+            self.probe.on_enqueue(pkt, self.bytes_queued)
         return True
 
     def dequeue(self) -> Optional[Packet]:

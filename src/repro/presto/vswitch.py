@@ -51,3 +51,5 @@ class PrestoLb(LoadBalancer):
                     self._random_idx.clear()
         seg.dst_mac = labels[idx % len(labels)]
         seg.flowcell_id = cell
+        if self.probe is not None:
+            self.probe.on_flowcell(seg, idx % len(labels), cell)

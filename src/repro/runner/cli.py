@@ -82,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
              f"{DEFAULT_RESULTS_DIR})",
     )
     run.add_argument(
+        "--trace", action="store_true",
+        help="record per-cell event traces; Chrome/Perfetto-loadable "
+             "JSON lands in <results-dir>/traces/ (implies metric "
+             "snapshots in each stored result)",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="collect per-cell metric snapshots (counters/gauges/"
+             "histograms) and write them to FILE as JSON",
+    )
+    run.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
 
@@ -134,6 +145,15 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         return 2
 
     store = ResultStore(ns.results_dir)
+    telemetry = None
+    if ns.trace or ns.metrics_out:
+        from repro.telemetry import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            metrics=True,
+            trace=bool(ns.trace),
+            trace_dir=os.path.join(store.root, "traces") if ns.trace else None,
+        )
     log = None if ns.quiet else (lambda msg: print(msg, file=sys.stderr))
     report = sweep.run(
         schemes,
@@ -146,6 +166,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         force=ns.force,
         timeout_s=ns.timeout,
         log=log,
+        telemetry=telemetry,
     )
     table = format_table(report.headers, report.rows)
     print(table)
@@ -163,7 +184,36 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         )
         fh.write("\n")
     print(f"saved {txt_path} and {json_path}", file=sys.stderr)
+
+    if ns.metrics_out:
+        _write_metrics_out(store, report.name, ns.metrics_out)
+    if telemetry is not None and telemetry.trace:
+        print(f"traces in {os.path.join(store.root, 'traces')} "
+              "(load a .trace.json at https://ui.perfetto.dev)",
+              file=sys.stderr)
     return 0
+
+
+def _write_metrics_out(store: ResultStore, sweep_name: str, path: str) -> None:
+    """Collect each stored cell's metric snapshot into one JSON file.
+
+    Scans the result store for this sweep's labels; cells recorded
+    without telemetry carry no snapshot and are skipped.
+    """
+    cells = {}
+    for record in store.records():
+        label = record.get("label", "")
+        if not label.startswith(f"{sweep_name}/"):
+            continue
+        metrics = record.get("result", {}).get("fields", {}).get("metrics")
+        if metrics is not None:
+            cells[label] = metrics
+    with open(path, "w") as fh:
+        json.dump({"sweep": sweep_name, "cells": cells},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"saved metric snapshots for {len(cells)} cell(s) to {path}",
+          file=sys.stderr)
 
 
 def _cmd_summary(ns: argparse.Namespace) -> int:

@@ -51,7 +51,10 @@ def to_jsonable(obj: Any) -> Any:
         return {
             "__dataclass__": ref_of(type(obj)),
             "fields": {
-                f.name: to_jsonable(getattr(obj, f.name)) for f in fields(obj)
+                f.name: to_jsonable(getattr(obj, f.name))
+                for f in fields(obj)
+                if not (f.metadata.get("omit_if_none")
+                        and getattr(obj, f.name) is None)
             },
         }
     if isinstance(obj, dict):

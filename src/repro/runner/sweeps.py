@@ -67,6 +67,7 @@ def _run_scalability(
     force: bool,
     timeout_s: Optional[float],
     log,
+    telemetry=None,
 ) -> SweepReport:
     from repro.experiments.scalability import DEFAULT_SCHEMES, run_scalability
 
@@ -77,6 +78,7 @@ def _run_scalability(
         warm_ns=warm_ns,
         measure_ns=measure_ns,
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+        telemetry=telemetry,
     )
     headers = ["scheme", "paths", "tput Gbps", "loss", "jain",
                "rtt p50 ms", "rtt p99 ms"]
@@ -95,6 +97,7 @@ def _run_oversub(
     force: bool,
     timeout_s: Optional[float],
     log,
+    telemetry=None,
 ) -> SweepReport:
     from repro.experiments.oversub import DEFAULT_SCHEMES, run_oversub
 
@@ -105,6 +108,7 @@ def _run_oversub(
         warm_ns=warm_ns,
         measure_ns=measure_ns,
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+        telemetry=telemetry,
     )
     headers = ["scheme", "pairs", "tput Gbps", "loss", "jain",
                "rtt p50 ms", "rtt p99 ms"]
@@ -123,6 +127,7 @@ def _run_synthetic(
     force: bool,
     timeout_s: Optional[float],
     log,
+    telemetry=None,
 ) -> SweepReport:
     from repro.experiments.synthetic import (
         DEFAULT_SCHEMES,
@@ -137,6 +142,7 @@ def _run_synthetic(
         warm_ns=warm_ns,
         measure_ns=measure_ns,
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+        telemetry=telemetry,
     )
     headers = ["scheme", "workload", "tput Gbps", "mice p50 ms", "mice p99 ms"]
     rows = []

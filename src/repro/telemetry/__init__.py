@@ -1,0 +1,42 @@
+"""Simulation telemetry: metrics registry, event tracer, Testbed probes.
+
+Off by default.  Enable per run::
+
+    from repro.telemetry import TelemetryConfig
+    tb = Testbed(cfg, telemetry=TelemetryConfig(trace=True, trace_dir="out"))
+    ...
+    snapshot = tb.telemetry.snapshot()       # sorted metrics dict
+    tb.telemetry.export_trace()              # Perfetto-loadable JSON
+
+or from the runner CLI with ``--trace`` / ``--metrics-out``.
+"""
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    per_cell_telemetry,
+)
+from repro.telemetry.instrument import instrument_testbed
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
+    "instrument_testbed",
+    "per_cell_telemetry",
+]

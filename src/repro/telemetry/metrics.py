@@ -1,0 +1,154 @@
+"""Simulation-clock-aware metrics: counters, gauges and histograms.
+
+Every metric lives in a :class:`MetricsRegistry` under a dotted name
+(``component.instance.metric``, e.g. ``port.L1->S1.depth_bytes``).  A
+snapshot is a plain, JSON-able dict with sorted keys, so two runs of
+the same deterministic simulation produce byte-identical snapshots —
+serial vs parallel, cached vs fresh.
+
+Histograms use *fixed* bucket edges chosen at creation time (never
+data-dependent), which is what keeps merged/parallel snapshots
+deterministic: the bucket an observation lands in depends only on the
+value, not on what arrived before it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Sequence, Union
+
+#: queue/ring depth buckets: 1 KB .. 4 MB in powers of two
+DEPTH_BUCKETS_BYTES = tuple(1 << k for k in range(10, 23))
+#: duration buckets: 1 us .. ~134 ms in powers of two (ns)
+DURATION_BUCKETS_NS = tuple(1000 * (1 << k) for k in range(0, 18))
+#: segment/payload size buckets: 256 B .. 64 KB in powers of two
+SIZE_BUCKETS_BYTES = tuple(1 << k for k in range(8, 17))
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def record_total(self, total: int) -> None:
+        """Mirror an external cumulative counter; must not go backwards."""
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name!r} went backwards: "
+                f"{self.value} -> {total}"
+            )
+        self.value = total
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-edge histogram with count/sum/min/max.
+
+    ``edges`` are the *upper-inclusive* boundaries of the first
+    ``len(edges)`` buckets; one overflow bucket catches everything
+    above the last edge (``counts`` has ``len(edges) + 1`` entries).
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[Union[int, float]]):
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name!r} edges must strictly increase")
+        self.name = name
+        self.edges = tuple(edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: Union[int, float, None] = None
+        self.max: Union[int, float, None] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.counts[bisect_right(self.edges, value) if value > self.edges[0]
+                    else 0] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, edges: Sequence[Union[int, float]] = DURATION_BUCKETS_NS
+    ) -> Histogram:
+        return self._get(name, Histogram, edges)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as a sorted, JSON-able dict (deterministic)."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""CI helper: validate the runner's telemetry exports.
+
+Usage: python tools/check_trace_smoke.py <results-dir> <cell-label>
+
+Checks that the Chrome trace for ``cell-label`` is valid JSON with the
+expected event categories and that ``metrics.json`` carries the cell's
+metric snapshot.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    results_dir, label = sys.argv[1], sys.argv[2]
+    trace_path = os.path.join(
+        results_dir, "traces", label.replace("/", "_") + ".trace.json")
+    trace = json.load(open(trace_path))
+    events = trace["traceEvents"]
+    cats = {e.get("cat") for e in events if e["ph"] != "M"}
+    assert {"nic", "presto"} <= cats, f"missing categories in {cats}"
+    for e in events:
+        # complete spans carry durations; instants and metadata never do
+        assert ("dur" in e) == (e["ph"] == "X"), e
+
+    metrics = json.load(open(os.path.join(results_dir, "metrics.json")))
+    cell = metrics["cells"][label]
+    assert any(k.startswith("host.h0.") for k in cell), sorted(cell)[:5]
+    assert any(k.startswith("switch.") for k in cell), sorted(cell)[:5]
+
+    print(f"trace OK: {len(events)} events, {len(cell)} metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
