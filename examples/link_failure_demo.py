@@ -1,14 +1,18 @@
 #!/usr/bin/env python
 """Failure handling walkthrough (paper S3.3 / Figs 17-18).
 
-Kills the S1-L1 link and shows Presto's three recovery postures on an
+Kills the S1-L1 link *mid-run* and watches Presto's three recovery
+postures flow into one another in a single continuous simulation of an
 L1 -> L4 workload:
 
   symmetry   the link is up: flowcells round-robin over 4 spanning trees
-  failover   the link is down; OpenFlow-style fast-failover buckets
-             redirect tree-1 flowcells through backup ports (imbalanced)
-  weighted   the controller prunes/reweights the label schedules at the
-             vSwitches (WCMP-style duplicated labels), restoring balance
+  failover   the link dies; OpenFlow-style fast-failover buckets
+             redirect tree-1 flowcells through backup ports after the
+             hardware detection latency (imbalanced, some blackholing)
+  weighted   the modeled control plane notices the change
+             detection+reaction later — an in-sim event, nobody calls
+             the controller by hand — and prunes/reweights the label
+             schedules at the vSwitches, restoring balance on 3 trees
 
 Run:  python examples/link_failure_demo.py
 """
@@ -18,41 +22,33 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro import Testbed, TestbedConfig
-from repro.metrics.collectors import ThroughputMeter
-from repro.units import msec, usec
-
-
-def run_stage(stage: str) -> float:
-    cfg = TestbedConfig(scheme="presto", seed=11)
-    tb = Testbed(cfg)
-
-    failed = next(l for l in tb.topo.links if l.name == "L1--S1")
-    if stage == "failover":
-        tb.controller.enable_fast_failover(cfg.failover_latency_ns)
-    if stage != "symmetry":
-        failed.set_down()
-    if stage == "weighted":
-        tb.controller.on_link_failure(failed)  # reweight + push schedules
-
-    rng = tb.streams.stream("starts")
-    meter = ThroughputMeter()
-    for i in range(4):  # L1 hosts 0-3 -> L4 hosts 12-15
-        app = tb.add_elephant(i, 12 + i, start_ns=rng.randrange(usec(500)))
-        meter.track(app)
-
-    tb.run(msec(15))
-    meter.mark_start(tb.sim.now)
-    tb.run(msec(40))
-    meter.mark_end(tb.sim.now)
-    return meter.mean_rate_bps() / 1e9
+from repro.experiments.failure import run_failure_timeline
 
 
 def main() -> None:
     print(__doc__)
-    print("L1->L4 elephants, S1-L1 link failure:\n")
-    for stage in ("symmetry", "failover", "weighted"):
-        print(f"  {stage:9s}: {run_stage(stage):5.2f} Gbps per flow")
+    timeline = run_failure_timeline("L1->L4", seed=11)
+    print("L1->L4 elephants, S1-L1 link dies at "
+          f"t={timeline.fault_ns / 1e6:.0f} ms, controller reacts at "
+          f"t={timeline.reaction_ns / 1e6:.0f} ms:\n")
+    for name, phase in timeline.phases.items():
+        print(f"  {name:9s}: {phase.mean_flow_tput_bps / 1e9:5.2f} Gbps "
+              f"per flow  (window {phase.start_ns / 1e6:.0f}-"
+              f"{phase.end_ns / 1e6:.0f} ms)")
+    conv = timeline.convergence
+    print("\naggregate throughput trajectory (windowed):")
+    bar_unit = 2e9
+    for t, rate in timeline.trajectory:
+        bar = "#" * int(rate / bar_unit)
+        print(f"  {t / 1e6:6.1f} ms  {rate / 1e9:5.1f} Gbps  {bar}")
+    if conv.time_to_failover_ns is not None:
+        print(f"\ntime to failover plateau : "
+              f"{conv.time_to_failover_ns / 1e6:.1f} ms")
+    if conv.time_to_rebalance_ns is not None:
+        print(f"time to rebalanced state : "
+              f"{conv.time_to_rebalance_ns / 1e6:.1f} ms")
+    print(f"bytes blackholed by fault: "
+          f"{timeline.blackholed_bytes.get('total', 0) / 1024:.0f} KB")
     print("\nsymmetry ~ line rate; failover survives but is imbalanced;")
     print("weighted recovers most of the loss with 3 of 4 trees.")
 

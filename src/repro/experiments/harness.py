@@ -86,6 +86,12 @@ class TestbedConfig:
     mptcp_subflows: int = 8
     #: failover detection latency when fast failover is enabled
     failover_latency_ns: int = msec(2)
+    #: modeled control plane (repro.faults): how long until the
+    #: controller learns of a link change, and how long it then takes
+    #: to recompute + push schedules (paper S3.3: failover is
+    #: microseconds in hardware, the controller is tens of ms behind)
+    ctrl_detection_delay_ns: int = msec(10)
+    ctrl_reaction_delay_ns: int = msec(5)
     # --- ablation knobs (DESIGN.md S5) ---------------------------------
     #: flowcell granularity (paper: 64 KB = max TSO)
     flowcell_bytes: int = 64 * KB
@@ -123,7 +129,8 @@ class TestbedConfig:
             value = getattr(self, name)
             if value <= 0:
                 raise ValueError(f"{name} must be positive, got {value}")
-        for name in ("prop_delay_ns", "failover_latency_ns"):
+        for name in ("prop_delay_ns", "failover_latency_ns",
+                     "ctrl_detection_delay_ns", "ctrl_reaction_delay_ns"):
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
@@ -173,6 +180,8 @@ class Testbed:
         self.topo.install_underlay(
             leaf_hash_mode=self.scheme_def.leaf_hash_mode)
         self.apps: List[object] = []
+        #: modeled control plane; None until enable_control_plane()
+        self.control_plane = None
         if self.telemetry.enabled:
             instrument_testbed(self)
 
@@ -266,6 +275,24 @@ class Testbed:
     @property
     def is_mptcp(self) -> bool:
         return self.scheme_def.transport == "mptcp"
+
+    def enable_control_plane(self):
+        """Attach the modeled control plane (repro.faults): the
+        controller subscribes to every link and pushes reweighted
+        schedules ``ctrl_detection_delay_ns + ctrl_reaction_delay_ns``
+        after any state change.  Idempotent; returns the ControlPlane."""
+        if self.control_plane is None:
+            from repro.faults.controlplane import ControlPlane
+
+            self.control_plane = ControlPlane(
+                self.sim,
+                self.controller,
+                self.topo.links,
+                detection_delay_ns=self.cfg.ctrl_detection_delay_ns,
+                reaction_delay_ns=self.cfg.ctrl_reaction_delay_ns,
+                tracer=self.telemetry.tracer if self.telemetry.enabled else None,
+            )
+        return self.control_plane
 
     # --- traffic ----------------------------------------------------------------
 

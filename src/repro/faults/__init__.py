@@ -1,0 +1,70 @@
+"""Dynamic fault injection: schedules, control plane, convergence, soak.
+
+The robustness layer for the paper's S3.3 story and everything built on
+it: declare *when* links die, flap, degrade or come back
+(:mod:`repro.faults.schedule`), let the modeled controller notice and
+react in simulated time (:mod:`repro.faults.controlplane`), measure how
+fast throughput converges (:mod:`repro.faults.metrics`), and soak the
+whole stack under random schedules with conservation-law checking
+(:mod:`repro.faults.soak`, ``python -m repro.faults soak``).
+"""
+
+from repro.faults.controlplane import ControlPlane, LinkChange, Reaction
+from repro.faults.invariants import InvariantReport, byte_ledger, check_invariants
+from repro.faults.metrics import (
+    BlackholeAccountant,
+    ConvergenceReport,
+    ThroughputTimeline,
+    convergence_report,
+    register_fault_metrics,
+)
+from repro.faults.schedule import (
+    ArmedFaults,
+    FaultSchedule,
+    LinkDegrade,
+    LinkDown,
+    LinkFlap,
+    LinkUp,
+    SwitchDown,
+    SwitchUp,
+    classic_failure_schedule,
+    random_schedule,
+)
+from repro.faults.soak import (
+    SoakCase,
+    SoakReport,
+    SoakResult,
+    random_case,
+    run_soak,
+    run_soak_case,
+)
+
+__all__ = [
+    "ArmedFaults",
+    "BlackholeAccountant",
+    "ControlPlane",
+    "ConvergenceReport",
+    "FaultSchedule",
+    "InvariantReport",
+    "LinkChange",
+    "LinkDegrade",
+    "LinkDown",
+    "LinkFlap",
+    "LinkUp",
+    "Reaction",
+    "SoakCase",
+    "SoakReport",
+    "SoakResult",
+    "SwitchDown",
+    "SwitchUp",
+    "ThroughputTimeline",
+    "byte_ledger",
+    "check_invariants",
+    "classic_failure_schedule",
+    "convergence_report",
+    "random_case",
+    "random_schedule",
+    "register_fault_metrics",
+    "run_soak",
+    "run_soak_case",
+]

@@ -1,0 +1,216 @@
+"""Chaos soak: random fault schedules x seeds, invariants after each.
+
+One *case* = a testbed config + a random self-restoring fault schedule
++ a handful of bounded cross-leaf elephants + a generous deadline.  The
+case runs with hardware fast failover and the modeled control plane
+both live, then :func:`repro.faults.invariants.check_invariants`
+decides pass/fail.  Cases are plain frozen dataclasses, so they ride
+through :mod:`repro.runner` (content-hashed caching, process pool,
+resume) like any experiment job — ``python -m repro.faults soak``.
+
+Random switch outages draw from the *spines* only: a dead leaf
+partitions its own hosts outright (nothing in the paper's design can
+route around the only edge switch), so leaf outages are for targeted
+tests, not background chaos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import START_JITTER_NS
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.faults.invariants import check_invariants
+from repro.faults.metrics import BlackholeAccountant
+from repro.faults.schedule import FaultSchedule, random_schedule
+from repro.runner.jobspec import JobSpec
+from repro.runner.pool import run_jobs
+from repro.runner.store import ResultStore
+from repro.sim.rand import RandomStreams
+from repro.units import KB, MB, msec
+
+#: window the random faults land in (all restored before it ends)
+DEFAULT_FAULT_WINDOW_NS = msec(40)
+#: hard horizon: flows + control plane must be done and quiet by then
+DEFAULT_DEADLINE_NS = msec(500)
+#: sized so flows are still in flight when the faults land (a 2 MB
+#: flow sharing a 10 Gbps fabric runs for several ms; faults start at
+#: ~1/20 of the fault window)
+DEFAULT_SIZES = (2 * MB, 4 * MB, 8 * MB)
+
+
+@dataclass(frozen=True)
+class SoakCase:
+    """Everything one chaos run needs, serializable and hashable."""
+
+    cfg: TestbedConfig
+    schedule: FaultSchedule
+    pairs: Tuple[Tuple[int, int], ...]
+    size_bytes: int
+    deadline_ns: int = DEFAULT_DEADLINE_NS
+
+
+@dataclass
+class SoakResult:
+    """One case's verdict plus the evidence behind it."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    blackholed_bytes: Dict[str, int] = field(default_factory=dict)
+    faults_applied: int = 0
+    reactions: int = 0
+    end_ns: int = 0
+
+
+def _fabric_names(cfg: TestbedConfig):
+    """Fabric link names + spine->links map for ``cfg``'s Clos, without
+    building it (build_clos names links ``{leaf}--{spine}``)."""
+    leaves = [f"L{i + 1}" for i in range(cfg.n_leaves)]
+    spines = [f"S{j + 1}" for j in range(cfg.n_spines)]
+    links = [f"{leaf}--{spine}" for leaf in leaves for spine in spines]
+    switch_links = {
+        spine: [f"{leaf}--{spine}" for leaf in leaves] for spine in spines
+    }
+    return links, switch_links
+
+
+def random_case(
+    base_seed: int,
+    index: int,
+    fault_window_ns: int = DEFAULT_FAULT_WINDOW_NS,
+    deadline_ns: int = DEFAULT_DEADLINE_NS,
+    max_faults: int = 2,
+) -> SoakCase:
+    """Deterministically derive case ``index`` of a soak at ``base_seed``."""
+    rng = RandomStreams(base_seed).stream(f"soak-case-{index}")
+    cfg = TestbedConfig(scheme="presto", seed=rng.randrange(1, 2**31))
+    links, switch_links = _fabric_names(cfg)
+    schedule = random_schedule(
+        rng, links,
+        window_ns=fault_window_ns,
+        switches=switch_links,
+        max_faults=max_faults,
+    )
+    n_hosts = cfg.n_leaves * cfg.hosts_per_leaf
+    n_pairs = rng.randint(2, 4)
+    srcs = rng.sample(range(n_hosts), n_pairs)
+    pairs: List[Tuple[int, int]] = []
+    used_dst = set(srcs)
+    for src in srcs:
+        choices = [
+            h for h in range(n_hosts)
+            if h // cfg.hosts_per_leaf != src // cfg.hosts_per_leaf
+            and h not in used_dst
+        ]
+        dst = rng.choice(choices)
+        used_dst.add(dst)
+        pairs.append((src, dst))
+    return SoakCase(
+        cfg=cfg,
+        schedule=schedule,
+        pairs=tuple(pairs),
+        size_bytes=rng.choice(DEFAULT_SIZES),
+        deadline_ns=deadline_ns,
+    )
+
+
+def run_soak_case(case: SoakCase) -> SoakResult:
+    """Run one chaos case end to end and check every invariant."""
+    tb = Testbed(case.cfg)
+    tb.controller.enable_fast_failover(case.cfg.failover_latency_ns)
+    control = tb.enable_control_plane()
+    armed = case.schedule.arm(tb.sim, tb.topo)
+    rng = tb.streams.stream("soak-starts")
+    apps = []
+    for src, dst in case.pairs:
+        apps.append(tb.add_elephant(
+            src, dst, size_bytes=case.size_bytes,
+            start_ns=rng.randrange(START_JITTER_NS)))
+    accountant = BlackholeAccountant(tb.topo, tb.hosts)
+    tb.run(case.deadline_ns)
+    report = check_invariants(tb, apps)
+    if not control.settled():
+        report.violations.append(
+            "control plane still had pending reactions at the deadline")
+    return SoakResult(
+        ok=report.ok and control.settled(),
+        violations=report.violations,
+        stats=report.stats,
+        blackholed_bytes=accountant.delta(),
+        faults_applied=len(armed.applied),
+        reactions=len(control.reactions),
+        end_ns=tb.sim.now,
+    )
+
+
+@dataclass
+class SoakReport:
+    """A whole soak: per-case outcomes, ready for a summary table."""
+
+    base_seed: int
+    cases: List[SoakCase]
+    results: List[Optional[SoakResult]]  # None: the job itself failed
+    errors: List[Optional[str]]
+
+    @property
+    def ok(self) -> bool:
+        return all(r is not None and r.ok for r in self.results)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for r in self.results if r is not None and r.ok)
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for i, (case, result, error) in enumerate(
+                zip(self.cases, self.results, self.errors)):
+            kinds = ",".join(type(e).__name__ for e in case.schedule.events)
+            if result is None:
+                out.append([i, kinds, "JOB-FAILED", "-", "-", "-",
+                            (error or "")[:60]])
+                continue
+            out.append([
+                i,
+                kinds,
+                "ok" if result.ok else "FAIL",
+                f"{result.stats.get('flows_total', 0) - result.stats.get('flows_stuck', 0)}"
+                f"/{result.stats.get('flows_total', 0)}",
+                result.faults_applied,
+                result.reactions,
+                "; ".join(result.violations)[:60],
+            ])
+        return out
+
+
+def run_soak(
+    n_cases: int = 20,
+    base_seed: int = 0,
+    *,
+    fault_window_ns: int = DEFAULT_FAULT_WINDOW_NS,
+    deadline_ns: int = DEFAULT_DEADLINE_NS,
+    max_faults: int = 2,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    timeout_s: Optional[float] = None,
+    log=None,
+) -> SoakReport:
+    """Sample ``n_cases`` random cases and run them through the runner."""
+    cases = [
+        random_case(base_seed, i, fault_window_ns=fault_window_ns,
+                    deadline_ns=deadline_ns, max_faults=max_faults)
+        for i in range(n_cases)
+    ]
+    specs = [
+        JobSpec.make(run_soak_case, cfg=case,
+                     label=f"faults/soak/s{base_seed}/c{i}")
+        for i, case in enumerate(cases)
+    ]
+    outcomes = run_jobs(specs, jobs=jobs, store=store, force=force,
+                        timeout_s=timeout_s, log=log)
+    results = [o.result if o.ok else None for o in outcomes]
+    errors = [o.error if not o.ok else None for o in outcomes]
+    return SoakReport(base_seed=base_seed, cases=cases,
+                      results=results, errors=errors)

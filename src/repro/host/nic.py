@@ -80,8 +80,11 @@ class Nic:
         self._gro_timer: Optional[Event] = None
 
         self.ring_drops = 0
+        self.ring_drop_bytes = 0
         self.rx_pkts = 0
+        self.rx_bytes = 0
         self.tx_pkts = 0
+        self.tx_bytes = 0
         self.tx_segments = 0
         #: optional telemetry probe (repro.telemetry); None = disabled
         self.probe = None
@@ -147,6 +150,7 @@ class Nic:
         if self.packet_labeler is not None:
             self.packet_labeler(pkt)
         self.tx_pkts += 1
+        self.tx_bytes += pkt.wire_size
         self.port.send(pkt)
 
     # --- receive ----------------------------------------------------------------
@@ -154,10 +158,12 @@ class Nic:
     def rx(self, pkt: Packet) -> None:
         if len(self._ring) >= self.ring_slots:
             self.ring_drops += 1
+            self.ring_drop_bytes += pkt.wire_size
             if self.probe is not None:
                 self.probe.on_ring_drop(pkt)
             return
         self.rx_pkts += 1
+        self.rx_bytes += pkt.wire_size
         self._ring.append(pkt)
         if self._poll_pending:
             return

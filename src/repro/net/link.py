@@ -51,10 +51,28 @@ class Link:
             callback(self)
 
     def set_up(self) -> None:
-        """Restore the link."""
+        """Restore the link: ports resume transmitting and observers
+        (failover groups, the control plane) are notified, symmetric to
+        :meth:`set_down`."""
         if self._up:
             return
         self._up = True
+        for port in self.ports:
+            port.on_link_up()
+        for callback in list(self.on_state_change):
+            callback(self)
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link rate in place (degraded optics / FEC fallback).
+
+        Packets already serializing finish at the old rate; observers are
+        notified so the control plane can reweight schedules.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive: {rate_bps}")
+        if rate_bps == self.rate_bps:
+            return
+        self.rate_bps = rate_bps
         for callback in list(self.on_state_change):
             callback(self)
 

@@ -40,8 +40,14 @@ class Port:
         self.peer = None  # node with .receive(pkt, port); set by Topology
         self.peer_port: Optional["Port"] = None  # reverse direction
         self._busy = False
+        self._tx_event = None  # pending _tx_done for the serializing packet
+        self._tx_pkt: Optional[Packet] = None
         self.tx_pkts = 0
         self.tx_bytes = 0
+        #: frames lost on the wire itself: the packet being serialized
+        #: when the cable died (never reaches any queue counter)
+        self.wire_drop_pkts = 0
+        self.wire_drop_bytes = 0
         #: per-packet serialization jitter ceiling (ns).  Host NICs get a
         #: few tens of ns of timing noise (IFG variance, PCIe batching):
         #: without it, constant-MTU flows phase-lock with switch queue
@@ -104,15 +110,21 @@ class Port:
             # enqueue — they cannot re-enter the transmit machinery.
             self.on_dequeue(pkt)
         ser = serialization_time_ns(pkt.wire_size, self.link.rate_bps) + self._jitter()
-        self.sim.schedule(ser, self._tx_done, pkt)
+        self._tx_pkt = pkt
+        self._tx_event = self.sim.schedule(ser, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
+        self._tx_event = None
+        self._tx_pkt = None
         self.tx_pkts += 1
         self.tx_bytes += pkt.wire_size
         if self.link.up:
             # Packet leaves the wire prop_delay later; the transmitter is
             # free to start the next packet immediately (pipelining).
             self.sim.schedule(self.link.prop_delay_ns, self._deliver, pkt)
+        else:
+            self.wire_drop_pkts += 1
+            self.wire_drop_bytes += pkt.wire_size
         self._start_tx()
 
     def _deliver(self, pkt: Packet) -> None:
@@ -120,14 +132,26 @@ class Port:
         self.peer.receive(pkt, self)
 
     def on_link_down(self) -> None:
-        """Flush queued packets when the cable dies."""
-        dropped = self.queue.clear()
-        self.queue.dropped_pkts += dropped
-        if dropped:
-            self.queue.drop_causes["link_down"] = (
-                self.queue.drop_causes.get("link_down", 0) + dropped
-            )
+        """Flush queued packets when the cable dies; the frame in the
+        serializer is lost on the wire."""
+        while True:
+            pkt = self.queue.dequeue()
+            if pkt is None:
+                break
+            self.queue.record_drop(pkt, "link_down")
+        if self._tx_event is not None:
+            self._tx_event.cancel()
+            self._tx_event = None
+        if self._tx_pkt is not None:
+            self.wire_drop_pkts += 1
+            self.wire_drop_bytes += self._tx_pkt.wire_size
+            self._tx_pkt = None
         self._busy = False
+
+    def on_link_up(self) -> None:
+        """Cable restored: resume transmission of anything queued."""
+        if not self._busy and len(self.queue):
+            self._start_tx()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Port {self.name}>"

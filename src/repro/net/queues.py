@@ -74,6 +74,9 @@ class DropTailQueue:
         #: drops split by cause: "cap" (per-port hard cap), "pool"
         #: (shared-buffer DT admission), "link_down"
         self.drop_causes: dict = {}
+        #: same split in wire bytes (fault accounting separates
+        #: failure-induced losses from congestion losses by cause)
+        self.drop_cause_bytes: dict = {}
         #: optional telemetry probe (repro.telemetry); None = disabled
         self.probe = None
 
@@ -85,6 +88,8 @@ class DropTailQueue:
         self.dropped_pkts += 1
         self.dropped_bytes += pkt.wire_size
         self.drop_causes[cause] = self.drop_causes.get(cause, 0) + 1
+        self.drop_cause_bytes[cause] = (
+            self.drop_cause_bytes.get(cause, 0) + pkt.wire_size)
         if self.probe is not None:
             self.probe.on_drop(pkt, cause, self.bytes_queued)
 

@@ -82,6 +82,12 @@ class FailoverGroup:
     def note_failure(self, port: Port, now: int) -> None:
         self._failed_at.setdefault(port, now)
 
+    def note_recovery(self, port: Port) -> None:
+        """Primary link restored: forget the failure so the group reverts
+        to the primary port and a *new* failure pays detection latency
+        again (rather than reusing the stale first-failure timestamp)."""
+        self._failed_at.pop(port, None)
+
     def reroute(self, port: Port, now: int, pkt: Packet) -> Optional[Port]:
         """Backup port for ``port`` if configured and detection latency has
         elapsed; None otherwise (packet is dropped, as in hardware).
@@ -116,7 +122,9 @@ class Switch:
         self.failover: Optional[FailoverGroup] = None
         self.rx_pkts = 0
         self.no_route_drops = 0
+        self.no_route_drop_bytes = 0
         self.ttl_drops = 0
+        self.ttl_drop_bytes = 0
 
     def add_port(self, port: Port) -> None:
         self.ports.append(port)
@@ -132,8 +140,12 @@ class Switch:
 
     def _watch_link(self, port: Port) -> None:
         def on_change(link, port=port):
-            if not link.up and self.failover is not None:
+            if self.failover is None:
+                return
+            if not link.up:
                 self.failover.note_failure(port, _now_of(port))
+            else:
+                self.failover.note_recovery(port)
         port.link.on_state_change.append(on_change)
 
     def install_route(self, mac: int, port: Port) -> None:
@@ -159,6 +171,7 @@ class Switch:
         self.rx_pkts += 1
         if pkt.hops > self.MAX_HOPS:
             self.ttl_drops += 1
+            self.ttl_drop_bytes += pkt.wire_size
             return
         out = self.lookup(pkt)
         if out is not None and not out.up and self.failover is not None:
@@ -168,6 +181,7 @@ class Switch:
             out = self.failover.reroute(out, _now_of(out), pkt)
         if out is None:
             self.no_route_drops += 1
+            self.no_route_drop_bytes += pkt.wire_size
             return
         out.send(pkt)
 

@@ -142,9 +142,16 @@ class PrestoController:
                     port, backup, rewrite=_relabel_to_tree(relabel_tree)
                 )
 
-    def on_link_failure(self, link: Link) -> None:
-        """Controller learns of a failure: reweight and push (the paper's
-        'weighted' stage).  Call after the link state changed."""
+    def on_link_failure(self, link: Optional[Link] = None) -> None:
+        """Deprecated alias of :meth:`push_all`.
+
+        Experiments used to call this by hand after flipping a link;
+        the modeled control plane (:mod:`repro.faults.controlplane`)
+        now subscribes to ``Link.on_state_change`` and reacts in
+        simulated time, so nothing needs to remember to call anything.
+        ``link`` was always ignored (schedules are recomputed from the
+        whole live topology) and is kept only for call compatibility.
+        """
         self.push_all()
 
 

@@ -220,6 +220,33 @@ class FlowcellProbe:
                 )
 
 
+def _watch_links(telemetry: Telemetry, topo) -> None:
+    """Emit a trace instant on every link state/rate change, so fault
+    timelines line up with queue/GRO/TCP activity in Perfetto.
+
+    Observation only: the callback reads the link and writes the trace
+    buffer; failover groups and the control plane keep their own
+    subscriptions."""
+    tracer = telemetry.tracer
+    if tracer is None:
+        return
+    for link in topo.links:
+        state = {"up": link.up}
+
+        def on_change(changed, state=state):
+            if changed.up != state["up"]:
+                state["up"] = changed.up
+                tracer.instant(
+                    "fault", "link_up" if changed.up else "link_down",
+                    f"link:{changed.name}", {"rate_bps": changed.rate_bps})
+            else:  # same up/down state: the rate moved (degraded optics)
+                tracer.instant(
+                    "fault", "link_rate", f"link:{changed.name}",
+                    {"rate_bps": changed.rate_bps})
+
+        link.on_state_change.append(on_change)
+
+
 def _switch_sampler(topo):
     def sample(reg: MetricsRegistry) -> None:
         for name in sorted(topo.switches):
@@ -239,6 +266,9 @@ def _switch_sampler(topo):
                     port.queue.dropped_pkts)
                 for cause, n in sorted(port.queue.drop_causes.items()):
                     reg.counter(f"{prefix}.drops.{cause}").record_total(n)
+                if port.wire_drop_pkts:
+                    reg.counter(f"{prefix}.drops.wire").record_total(
+                        port.wire_drop_pkts)
                 reg.gauge(f"{prefix}.queued_bytes").set(
                     port.queue.bytes_queued)
     return sample
@@ -295,5 +325,11 @@ def instrument_testbed(tb) -> None:
         if host.nic.port is not None:
             host.nic.port.queue.probe = QueueProbe(
                 telemetry, host.nic.port.name)
+    _watch_links(telemetry, tb.topo)
     telemetry.add_sampler(_switch_sampler(tb.topo))
     telemetry.add_sampler(_host_sampler(tb.hosts))
+    # failure-loss byte counters (lazy import: repro.faults builds on
+    # the experiment harness, which imports this module at load time)
+    from repro.faults.metrics import register_fault_metrics
+
+    register_fault_metrics(telemetry, tb.topo, tb.hosts)

@@ -122,3 +122,64 @@ def test_spine_failover_rewrite_moves_tree():
     topo.leaves[1].receive(pkt, None)  # send from L2 up tree 0
     sim.run()
     assert hosts[0].nic.rx_pkts == 1
+
+
+def test_set_rate_reweights_via_state_change():
+    """Degrading a leg with Link.set_rate (not raw attribute pokes) must
+    notify observers; a subscribed control loop pushing push_all then
+    yields the weighted schedule."""
+    _, topo, controller, hosts = build()
+    link = next(l for l in topo.links if l.name == "L1--S1")
+    link.on_state_change.append(lambda _l: controller.push_all())
+    link.set_rate(link.rate_bps / 2)
+    counts = Counter(shadow_mac_tree(m) for m in hosts[0].lb.labels_for(2))
+    assert counts[0] == 1
+    assert counts[1] == counts[2] == counts[3] == 2
+
+
+def test_weight_is_min_of_both_legs():
+    """A degraded *downlink* constrains the tree exactly like a degraded
+    uplink: the WCMP weight is min(up leg, down leg)."""
+    _, topo, controller, hosts = build()
+    up = next(l for l in topo.links if l.name == "L1--S2")
+    down = next(l for l in topo.links if l.name == "L2--S2")
+    down.set_rate(down.rate_bps / 4)  # only the far leg is slow
+    counts = Counter(shadow_mac_tree(m) for m in controller.schedule_for(0, 2))
+    assert counts[1] == 1
+    assert counts[0] == counts[2] == counts[3] == 4
+    # the same degraded link is the *up* leg for the reverse direction
+    rev = Counter(shadow_mac_tree(m) for m in controller.schedule_for(2, 0))
+    assert rev[1] == 1 and rev[0] == 4
+    assert up.rate_bps != down.rate_bps  # sanity: asymmetric legs
+
+
+def test_interleave_no_adjacent_duplicates_in_weighted_schedule():
+    """The 1:2:2:2 schedule a halved leg produces must not send two
+    consecutive flowcells down the same tree."""
+    _, topo, controller, hosts = build()
+    link = next(l for l in topo.links if l.name == "L1--S1")
+    link.set_rate(link.rate_bps / 2)
+    schedule = controller.schedule_for(0, 2)
+    assert len(schedule) == 7
+    for a, b in zip(schedule, schedule[1:]):
+        assert a != b
+
+
+def test_interleave_preserves_label_multiset():
+    labels = [11] * 3 + [22] * 2 + [33]
+    out = _interleave_schedule(labels)
+    assert Counter(out) == Counter(labels)
+    assert _interleave_schedule([]) == []
+
+
+def test_disconnected_pair_falls_back_to_all_trees():
+    """With every uplink of the source leaf dead the pair is unroutable;
+    the schedule falls back to all trees (packets blackhole in the
+    fabric) instead of going empty and wedging the round robin."""
+    _, topo, controller, hosts = build()
+    for link in topo.links:
+        if link.name.startswith("L1--"):
+            link.set_down()
+    schedule = controller.schedule_for(0, 2)
+    assert len(schedule) == 4
+    assert {shadow_mac_tree(m) for m in schedule} == {0, 1, 2, 3}

@@ -134,3 +134,63 @@ def test_on_dequeue_hook():
     port.send(pkt(flow=9))
     sim.run()
     assert seen == [9]
+
+
+def test_link_recovery_resumes_delivery():
+    """Regression: set_up must mirror set_down — notify ports *and*
+    observers — so traffic flows again after a repair."""
+    sim = Simulator()
+    port, sink, link = make_port(sim)
+    transitions = []
+    link.on_state_change.append(lambda l: transitions.append(l.up))
+    link.set_down()
+    assert not port.send(pkt())
+    link.set_up()
+    assert port.send(pkt())
+    sim.run()
+    assert len(sink.received) == 1
+    assert transitions == [False, True]
+
+
+def test_link_state_changes_are_idempotent():
+    sim = Simulator()
+    _, _, link = make_port(sim)
+    transitions = []
+    link.on_state_change.append(lambda l: transitions.append(l.up))
+    link.set_up()       # already up: no notification
+    link.set_down()
+    link.set_down()     # already down: no notification
+    link.set_up()
+    assert transitions == [False, True]
+
+
+def test_link_down_loses_frame_on_the_wire():
+    """The frame mid-serialization when the cable is cut is destroyed
+    and counted as a wire drop, not silently lost."""
+    sim = Simulator()
+    port, sink, link = make_port(sim)
+    p = pkt(1000)
+    port.send(p)
+    sim.run(until=100)  # mid-serialization (ser time is ~800ns at 10G)
+    link.set_down()
+    sim.run()
+    assert sink.received == []
+    assert port.wire_drop_pkts == 1
+    assert port.wire_drop_bytes == p.wire_size
+
+
+def test_set_rate_applies_to_later_packets():
+    sim = Simulator()
+    port, sink, link = make_port(sim)
+    times = []
+    sink.receive = lambda p, _: times.append(sim.now)
+    port.send(pkt(1000))
+    sim.run()
+    link.set_rate(link.rate_bps / 2)
+    port.send(pkt(1000))
+    sim.run()
+    ser_fast = serialization_time_ns(1000 + HEADER_BYTES, gbps(10))
+    ser_slow = serialization_time_ns(1000 + HEADER_BYTES, gbps(5))
+    assert times[0] == ser_fast + link.prop_delay_ns
+    # sent from idle at times[0]: serialization (at the new rate) + prop
+    assert times[1] - times[0] == ser_slow + link.prop_delay_ns

@@ -150,3 +150,36 @@ def test_ttl_guard_kills_looping_packet():
     sw.receive(p, None)
     assert sw.ttl_drops == 1
     assert sw.dropped_pkts() == 1
+
+
+def test_failover_reverts_to_primary_after_recovery():
+    """Regression for the recovery asymmetry: once the primary link is
+    repaired the group must route on it again, and a *second* failure
+    must pay the detection latency afresh instead of reusing the first
+    failure's timestamp."""
+    sim = Simulator()
+    sw = Switch("S")
+    p1, sink1 = wire(sim, sw, "p1")
+    p2, sink2 = wire(sim, sw, "p2")
+    group = sw.enable_failover(latency_ns=usec(10))
+    group.set_backup(p1, p2)
+    sw.install_route(42, p1)
+
+    p1.link.set_down()
+    sim.run(until=usec(20))
+    sw.receive(pkt(42), None)
+    sim.run(until=usec(30))
+    assert len(sink2.received) == 1  # detoured while down
+
+    p1.link.set_up()
+    sw.receive(pkt(42), None)
+    sim.run(until=usec(40))
+    assert len(sink1.received) == 1  # back on the primary
+
+    p1.link.set_down()  # second failure: detection clock restarts
+    sw.receive(pkt(42), None)
+    assert sw.no_route_drops == 1   # still within detection latency
+    sim.run(until=usec(60))
+    sw.receive(pkt(42), None)
+    sim.run()
+    assert len(sink2.received) == 2
