@@ -1,0 +1,79 @@
+"""Simulator hot-path perf suite (micro + macro).
+
+Unlike the ``bench_fig*`` modules this one does not reproduce a paper
+figure: it times the simulator itself.  The bench definitions live in
+:mod:`repro.perf.suite`; this wrapper runs them under pytest, saves the
+rendered table through benchlib, and merges the machine-readable
+numbers into ``BENCH_perf.json`` at the repo root so CI can archive one
+artifact regardless of which subset ran.
+
+Tune with environment variables (CI smoke uses a reduced scale):
+
+* ``PERF_SCALE``    — workload multiplier, default 1.0
+* ``PERF_ROUNDS``   — best-of rounds per bench, default 3
+* ``PERF_MAX_DROP`` — micro-bench regression gate, default 0.20
+
+The micro test fails when any micro bench drops more than
+``PERF_MAX_DROP`` below the committed baseline
+(``benchmarks/perf/baseline.json``); loosen the gate on machines with
+heavy steal-time noise (see PERFORMANCE.md).  Macros are reported but
+not gated here because their wall times are too long for meaningful
+best-of rounds in CI.
+"""
+
+import json
+import os
+
+import benchlib
+from repro.perf import (
+    load_baseline,
+    render_table,
+    results_payload,
+    run_suite,
+    write_bench_json,
+)
+from repro.perf.report import DEFAULT_BASELINE_RELPATH, check_regression
+from repro.perf.suite import MACRO_BENCHES, MICRO_BENCHES
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+SCALE = float(os.environ.get("PERF_SCALE", "1.0"))
+ROUNDS = int(os.environ.get("PERF_ROUNDS", "3"))
+MAX_DROP = float(os.environ.get("PERF_MAX_DROP", "0.20"))
+
+
+def _emit(name, results):
+    baseline = load_baseline(os.path.join(REPO_ROOT, DEFAULT_BASELINE_RELPATH))
+    payload = results_payload(results, baseline)
+    benchlib.save_result(name, render_table(payload))
+    # merge into the single repo-root artifact
+    merged = payload
+    try:
+        with open(BENCH_JSON) as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict) and "benches" in existing:
+            existing["benches"].update(payload["benches"])
+            for key in ("speedup_vs_baseline", "macro_speedup_min",
+                        "baseline_python"):
+                if key in payload:
+                    existing[key] = payload[key]
+            merged = existing
+    except (OSError, ValueError):
+        pass
+    write_bench_json(merged, BENCH_JSON)
+    return payload
+
+
+def test_perf_micro():
+    results = run_suite(MICRO_BENCHES, rounds=ROUNDS, scale=SCALE, log=print)
+    payload = _emit("perf_micro", results)
+    failures = check_regression(payload, max_drop=MAX_DROP, kinds=("micro",))
+    assert not failures, "; ".join(failures)
+
+
+def test_perf_macro():
+    results = run_suite(MACRO_BENCHES, rounds=ROUNDS, scale=SCALE, log=print)
+    payload = _emit("perf_macro", results)
+    for entry in payload["benches"].values():
+        assert entry["events"] > 0 and entry["events_per_sec"] > 0

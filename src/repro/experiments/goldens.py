@@ -1,0 +1,46 @@
+"""Canonical tiny runs behind the determinism golden fixtures.
+
+One small, fast configuration per scheme — the 2-path Fig 4a cell with
+short warm/measure windows — serialized byte-for-byte into
+``tests/golden/<scheme>.json``.  The golden test re-runs the config and
+compares bytes: any change to simulation behavior (event ordering,
+float math, RNG draws) shows up as a diff, which is what lets hot-path
+optimizations prove they are behavior-preserving.
+
+Regenerate intentionally-changed goldens with ``python
+tools/gen_golden.py`` and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.common import RunResult
+from repro.experiments.scalability import (
+    run_scalability_seed,
+    scalability_config,
+)
+from repro.runner.serialize import to_jsonable
+from repro.units import msec
+
+GOLDEN_SEED = 1
+GOLDEN_PATHS = 2
+GOLDEN_WARM_NS = msec(2)
+GOLDEN_MEASURE_NS = msec(3)
+
+
+def golden_run(scheme: str) -> RunResult:
+    """The canonical tiny run for ``scheme``."""
+    return run_scalability_seed(
+        scalability_config(scheme, GOLDEN_PATHS, GOLDEN_SEED),
+        warm_ns=GOLDEN_WARM_NS,
+        measure_ns=GOLDEN_MEASURE_NS,
+        with_probes=True,
+    )
+
+
+def golden_bytes(scheme: str) -> str:
+    """The run, serialized exactly as the fixture files store it."""
+    return json.dumps(
+        to_jsonable(golden_run(scheme)), indent=2, sort_keys=True
+    ) + "\n"

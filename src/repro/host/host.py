@@ -79,6 +79,9 @@ class Host:
         """Called by Topology.attach_host with this host's uplink port."""
         self.nic.attach_port(egress_port)
         self.topo = topo
+        # Shadow the receive() method with the NIC's bound rx: the leaf
+        # port then lands packets in the ring without an extra frame.
+        self.receive = self.nic.rx
 
     def receive(self, pkt: Packet, in_port) -> None:
         """Packets arriving from the leaf switch land in the NIC ring."""
@@ -91,7 +94,12 @@ class Host:
         self.lb.select(seg)
         if self.tx_tap is not None:
             self.tx_tap(seg)
-        self.nic.tx_segment(seg)
+            self.nic.tx_segment(seg)
+        else:
+            # TSO replicated every header field onto the wire packets and
+            # no tap holds a reference: recycle the segment.
+            self.nic.tx_segment(seg)
+            seg.release()
 
     def tx_ok(self, flow_id: int) -> bool:
         """Per-socket TSQ gate (head retransmissions and ACKs bypass it)."""
@@ -102,9 +110,12 @@ class Host:
         self._tsq_blocked[sender.flow_id] = sender
 
     def _wake_blocked_sender(self, flow_id: int) -> None:
-        sender = self._tsq_blocked.get(flow_id)
+        blocked = self._tsq_blocked
+        if not blocked:  # common case: fires per dequeued packet
+            return
+        sender = blocked.get(flow_id)
         if sender is not None and self.nic.tx_ok(flow_id):
-            del self._tsq_blocked[flow_id]
+            del blocked[flow_id]
             sender.on_tx_space()
 
     def open_sender(
@@ -155,11 +166,16 @@ class Host:
             )
             self.receivers[seg.flow_id] = receiver
         receiver.on_segment(seg)
+        if self.segment_tap is None:
+            # TCP copied the byte ranges it needs; without an observation
+            # tap holding the segment, its life ends here.
+            seg.release()
 
     def _on_ack_packet(self, pkt: Packet) -> None:
         sender = self.senders.get(pkt.flow_id)
         if sender is not None:
             sender.on_ack_packet(pkt)
+        pkt.release()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Host {self.host_id} lb={self.lb.name}>"

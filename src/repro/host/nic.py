@@ -111,7 +111,7 @@ class Nic:
             raise RuntimeError("NIC not attached to a port")
         self.tx_segments += 1
         if seg.kind == ACK or seg.payload_len == 0:
-            pkt = Packet(
+            pkt = Packet.alloc(
                 flow_id=seg.flow_id,
                 src_host=seg.src_host,
                 dst_host=seg.dst_host,
@@ -129,19 +129,26 @@ class Nic:
             self._tx_packet(pkt)
             return
         offset = seg.seq
-        while offset < seg.end_seq:
-            payload = min(self.mss, seg.end_seq - offset)
-            pkt = Packet(
-                flow_id=seg.flow_id,
-                src_host=seg.src_host,
-                dst_host=seg.dst_host,
-                dst_mac=seg.dst_mac,
-                kind=DATA,
-                seq=offset,
-                payload_len=payload,
-                flowcell_id=seg.flowcell_id,
-                is_retx=seg.is_retx,
-                ts=seg.ts,
+        end_seq = seg.end_seq
+        mss = self.mss
+        alloc = Packet.alloc
+        while offset < end_seq:
+            payload = end_seq - offset
+            if payload > mss:
+                payload = mss
+            pkt = alloc(
+                seg.flow_id,
+                seg.src_host,
+                seg.dst_host,
+                seg.dst_mac,
+                DATA,
+                offset,
+                payload,
+                seg.flowcell_id,
+                seg.is_retx,
+                0,
+                (),
+                seg.ts,
             )
             self._tx_packet(pkt)
             offset += payload
@@ -155,7 +162,10 @@ class Nic:
 
     # --- receive ----------------------------------------------------------------
 
-    def rx(self, pkt: Packet) -> None:
+    def rx(self, pkt: Packet, in_port=None) -> None:
+        """Accepts the Port.receive ``(pkt, in_port)`` calling convention
+        so a Host can wire its delivery port straight to the ring and
+        skip a per-packet indirection; ``in_port`` is unused."""
         if len(self._ring) >= self.ring_slots:
             self.ring_drops += 1
             self.ring_drop_bytes += pkt.wire_size
@@ -192,14 +202,19 @@ class Nic:
         budget = self.poll_budget
         presto = self.gro.name == "presto"
         acks: List[Packet] = []
-        while self._ring and budget > 0:
-            pkt = self._ring.popleft()
+        ring = self._ring
+        merge = self.gro.merge
+        while ring and budget > 0:
+            pkt = ring.popleft()
             budget -= 1
             if pkt.kind == ACK:
                 acks.append(pkt)
                 cost += costs.per_ack_ns
             else:
-                self.gro.merge(pkt, now)
+                merge(pkt, now)
+                # GRO copied every field it needs (Segment.from_packet /
+                # try_merge); the wire packet's life ends here.
+                pkt.release()
                 cost += costs.per_merge_pkt_ns
                 if presto:
                     cost += costs.presto_per_pkt_ns

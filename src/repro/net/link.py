@@ -34,6 +34,11 @@ class Link:
         self._up = True
         self.ports: List = []  # the two directional Ports using this cable
         self.on_state_change: List[Callable[["Link"], None]] = []
+        #: wire_size -> serialization ns at the current rate.  Traffic
+        #: uses a handful of distinct packet sizes, so ports answer the
+        #: per-packet float math with one dict hit; invalidated by
+        #: :meth:`set_rate`.
+        self._ser_cache: dict = {}
 
     @property
     def up(self) -> bool:
@@ -73,6 +78,7 @@ class Link:
         if rate_bps == self.rate_bps:
             return
         self.rate_bps = rate_bps
+        self._ser_cache.clear()
         for callback in list(self.on_state_change):
             callback(self)
 

@@ -15,7 +15,7 @@ from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import Simulator
-from repro.units import serialization_time_ns
+from repro.units import SEC, serialization_time_ns
 
 
 #: Default per-port buffering.  The G8264 shares ~4 MB among 64 ports;
@@ -26,6 +26,29 @@ DEFAULT_BUFFER_BYTES = 300 * 1024
 class Port:
     """One direction of a link: ``owner`` transmits to ``peer``."""
 
+    __slots__ = (
+        "sim",
+        "_schedule",
+        "name",
+        "link",
+        "queue",
+        "peer",
+        "peer_port",
+        "_busy",
+        "_tx_event",
+        "_tx_pkt",
+        "tx_pkts",
+        "tx_bytes",
+        "wire_drop_pkts",
+        "wire_drop_bytes",
+        "tx_jitter_ns",
+        "_jstate",
+        "space_threshold",
+        "on_space",
+        "_space_armed",
+        "on_dequeue",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -34,6 +57,9 @@ class Port:
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
     ):
         self.sim = sim
+        # bound once: the transmit machinery schedules 2+ events per
+        # packet and the attribute/descriptor chain shows up in profiles
+        self._schedule = sim.schedule
         self.name = name
         self.link = link
         self.queue = DropTailQueue(buffer_bytes)
@@ -83,7 +109,7 @@ class Port:
 
     def send(self, pkt: Packet) -> bool:
         """Queue ``pkt`` for transmission.  Returns False on drop."""
-        if not self.link.up:
+        if not self.link._up:
             self.queue.record_drop(pkt, "link_down")
             return False
         if not self.queue.enqueue(pkt):
@@ -109,19 +135,36 @@ class Port:
             # _busy is already True, so sends triggered by the wakeup only
             # enqueue — they cannot re-enter the transmit machinery.
             self.on_dequeue(pkt)
-        ser = serialization_time_ns(pkt.wire_size, self.link.rate_bps) + self._jitter()
+        # Serialization time answered from the link's size->ns cache;
+        # misses compute serialization_time_ns's exact expression (same
+        # rounding), so cached and uncached runs are bit-identical.
+        link = self.link
+        ws = pkt.wire_size
+        ser = link._ser_cache.get(ws)
+        if ser is None:
+            ser = max(1, int(round(ws * 8 * SEC / link.rate_bps)))
+            link._ser_cache[ws] = ser
+        jitter_ns = self.tx_jitter_ns
+        if jitter_ns:
+            # xorshift32: cheap, deterministic per port
+            x = self._jstate
+            x ^= (x << 13) & 0xFFFFFFFF
+            x ^= x >> 17
+            x ^= (x << 5) & 0xFFFFFFFF
+            self._jstate = x
+            ser += x % (jitter_ns + 1)
         self._tx_pkt = pkt
-        self._tx_event = self.sim.schedule(ser, self._tx_done, pkt)
+        self._tx_event = self._schedule(ser, self._tx_done, pkt)
 
     def _tx_done(self, pkt: Packet) -> None:
         self._tx_event = None
         self._tx_pkt = None
         self.tx_pkts += 1
         self.tx_bytes += pkt.wire_size
-        if self.link.up:
+        if self.link._up:
             # Packet leaves the wire prop_delay later; the transmitter is
             # free to start the next packet immediately (pipelining).
-            self.sim.schedule(self.link.prop_delay_ns, self._deliver, pkt)
+            self._schedule(self.link.prop_delay_ns, self._deliver, pkt)
         else:
             self.wire_drop_pkts += 1
             self.wire_drop_bytes += pkt.wire_size

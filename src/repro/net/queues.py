@@ -25,6 +25,8 @@ class SharedBuffer:
     alpha=2 a single congested port can take up to 2/3 of the pool.
     """
 
+    __slots__ = ("total_bytes", "alpha", "used_bytes")
+
     def __init__(self, total_bytes: int, alpha: float = 2.0):
         if total_bytes <= 0:
             raise ValueError(f"pool must be positive: {total_bytes}")
@@ -50,6 +52,22 @@ class SharedBuffer:
 
 class DropTailQueue:
     """FIFO with a byte capacity; enqueue beyond capacity drops the packet."""
+
+    __slots__ = (
+        "capacity_bytes",
+        "shared",
+        "_queue",
+        "bytes_queued",
+        "track_flows",
+        "flow_bytes",
+        "enqueued_pkts",
+        "enqueued_bytes",
+        "dropped_pkts",
+        "dropped_bytes",
+        "drop_causes",
+        "drop_cause_bytes",
+        "probe",
+    )
 
     def __init__(
         self,
@@ -99,13 +117,17 @@ class DropTailQueue:
         if self.bytes_queued + size > self.capacity_bytes:
             self.record_drop(pkt, "cap")
             return False
-        if self.shared is not None and not self.shared.admits(
-            size, self.bytes_queued
-        ):
-            self.record_drop(pkt, "pool")
-            return False
-        if self.shared is not None:
-            self.shared.take(size)
+        shared = self.shared
+        if shared is not None:
+            # admits() + take() inlined (same comparisons, same float
+            # expressions): two method calls per switch-queue enqueue
+            used = shared.used_bytes
+            if used + size > shared.total_bytes or (
+                self.bytes_queued + size > shared.alpha * (shared.total_bytes - used)
+            ):
+                self.record_drop(pkt, "pool")
+                return False
+            shared.used_bytes = used + size
         self._queue.append(pkt)
         self.bytes_queued += size
         self.enqueued_pkts += 1
@@ -121,11 +143,13 @@ class DropTailQueue:
         if not self._queue:
             return None
         pkt = self._queue.popleft()
-        self.bytes_queued -= pkt.wire_size
-        if self.shared is not None:
-            self.shared.release(pkt.wire_size)
+        size = pkt.wire_size
+        self.bytes_queued -= size
+        shared = self.shared
+        if shared is not None:
+            shared.used_bytes -= size
         if self.track_flows:
-            left = self.flow_bytes.get(pkt.flow_id, 0) - pkt.wire_size
+            left = self.flow_bytes.get(pkt.flow_id, 0) - size
             if left > 0:
                 self.flow_bytes[pkt.flow_id] = left
             else:

@@ -55,7 +55,13 @@ class EcmpGroup:
             key = pkt.flow_id
         else:
             key = pkt.flow_id * 1_000_003 + pkt.flowcell_id
-        return self.ports[_mix(key, self.salt) % len(self.ports)]
+        # _mix inlined (identical arithmetic): select runs once per
+        # packet per ECMP hop
+        x = (key * 0x9E3779B97F4A7C15 + self.salt) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 29
+        x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 32
+        return self.ports[x % len(self.ports)]
 
 
 class FailoverGroup:
@@ -173,8 +179,13 @@ class Switch:
             self.ttl_drops += 1
             self.ttl_drop_bytes += pkt.wire_size
             return
-        out = self.lookup(pkt)
-        if out is not None and not out.up and self.failover is not None:
+        # lookup() inlined: the exact-match hit is the per-packet path
+        out = self.l2_table.get(pkt.dst_mac)
+        if out is None:
+            group = self.ecmp_by_mac.get(pkt.dst_mac) or self.ecmp_default
+            if group is not None:
+                out = group.select(pkt)
+        if out is not None and not out.link._up and self.failover is not None:
             # Hardware semantics: the bucket applies its rewrite and
             # forwards out its explicit backup port — no second lookup
             # here; the next hop resolves the (possibly new) label.

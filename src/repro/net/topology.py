@@ -54,6 +54,10 @@ class Topology:
         self.spines: List[Switch] = []
         self.leaves: List[Switch] = []
         self._salt_counter = 0
+        # positive port_between() results; the controller re-resolves
+        # spine legs for every schedule recomputation and the linear
+        # port scan dominated control-plane reaction time
+        self._port_memo: Dict[tuple, Port] = {}
 
     # --- construction --------------------------------------------------------
 
@@ -136,11 +140,21 @@ class Topology:
     # --- underlay routing ----------------------------------------------------
 
     def port_between(self, a: Switch, b: Switch) -> Optional[Port]:
-        """The egress port on ``a`` whose peer is ``b`` (first match)."""
-        for port in a.ports:
-            if port.peer is b:
-                return port
-        return None
+        """The egress port on ``a`` whose peer is ``b`` (first match).
+
+        Memoized: appending ports never changes an existing first
+        match, and misses are not cached, so the memo stays correct
+        while the topology is still being built.
+        """
+        key = (a.name, b.name)
+        port = self._port_memo.get(key)
+        if port is None:
+            for candidate in a.ports:
+                if candidate.peer is b:
+                    self._port_memo[key] = candidate
+                    return candidate
+            return None
+        return port
 
     def ports_between(self, a: Switch, b: Switch) -> List[Port]:
         return [p for p in a.ports if p.peer is b]

@@ -1,0 +1,132 @@
+"""Render, persist and baseline-compare perf results.
+
+``BENCH_perf.json`` is the machine-readable artifact: per-bench wall
+time, events/sec and peak RSS, plus — when a committed baseline is
+available (``benchmarks/perf/baseline.json``) — the events/sec ratio
+against it.  CI fails a run whose micro benches drop more than 20%
+below baseline; the ≥25% macro improvement target of the optimization
+pass is read from the same ratios.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Dict, List, Optional
+
+from repro.perf.suite import MACRO, BenchResult
+
+SCHEMA = "repro.perf/1"
+
+#: committed baseline, relative to the repository root
+DEFAULT_BASELINE_RELPATH = os.path.join("benchmarks", "perf", "baseline.json")
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    """The committed baseline numbers, or None when absent/invalid."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) and "benches" in data else None
+
+
+def results_payload(
+    results: List[BenchResult],
+    baseline: Optional[Dict] = None,
+) -> Dict:
+    """The ``BENCH_perf.json`` document for ``results``."""
+    benches = {
+        r.name: {
+            "kind": r.kind,
+            "wall_s": r.wall_s,
+            "events": r.events,
+            "events_per_sec": r.events_per_sec,
+            "peak_rss_bytes": r.peak_rss_bytes,
+            "rounds": r.rounds,
+            "scale": r.scale,
+        }
+        for r in results
+    }
+    payload: Dict = {
+        "schema": SCHEMA,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benches": benches,
+    }
+    if baseline is not None:
+        base_benches = baseline.get("benches", {})
+        speedup = {}
+        for name, entry in benches.items():
+            base_entry = base_benches.get(name, {})
+            base = base_entry.get("events_per_sec")
+            # a ratio only means something for the identical workload:
+            # scaled-down smoke runs must not compare against a
+            # full-scale baseline
+            if base and base_entry.get("scale") == entry["scale"]:
+                speedup[name] = entry["events_per_sec"] / base
+        if speedup:
+            payload["baseline_python"] = baseline.get("python")
+            payload["speedup_vs_baseline"] = speedup
+            macro = [
+                v for name, v in speedup.items()
+                if benches[name]["kind"] == MACRO
+            ]
+            if macro:
+                payload["macro_speedup_min"] = min(macro)
+    return payload
+
+
+def render_table(payload: Dict) -> str:
+    """Human-readable table of a :func:`results_payload` document."""
+    from repro.experiments.harness import format_table
+
+    speedup = payload.get("speedup_vs_baseline", {})
+    rows = []
+    for name, e in payload["benches"].items():
+        rows.append([
+            name,
+            e["kind"],
+            f"{e['wall_s']:.3f}",
+            f"{e['events']}",
+            f"{e['events_per_sec'] / 1e3:.0f}k",
+            f"{e['peak_rss_bytes'] / (1024 * 1024):.0f}",
+            f"{speedup[name]:.2f}x" if name in speedup else "-",
+        ])
+    table = format_table(
+        ["bench", "kind", "wall s", "events", "events/s", "rss MB",
+         "vs baseline"],
+        rows,
+    )
+    if "macro_speedup_min" in payload:
+        table += (
+            f"\n\nmacro events/sec vs baseline: "
+            f"{payload['macro_speedup_min']:.2f}x (min across macros)"
+        )
+    return table
+
+
+def write_bench_json(payload: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def check_regression(
+    payload: Dict, max_drop: float = 0.20, kinds: tuple = ("micro",)
+) -> List[str]:
+    """Benches whose events/sec fell more than ``max_drop`` below the
+    baseline; empty when everything holds (or no baseline was given)."""
+    failures = []
+    speedup = payload.get("speedup_vs_baseline", {})
+    for name, ratio in speedup.items():
+        if payload["benches"][name]["kind"] not in kinds:
+            continue
+        if ratio < 1.0 - max_drop:
+            failures.append(
+                f"{name}: events/sec at {ratio:.2f}x of baseline "
+                f"(allowed >= {1.0 - max_drop:.2f}x)")
+    return failures

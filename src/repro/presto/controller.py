@@ -15,6 +15,7 @@ Responsibilities (paper S3.1 and S3.3):
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import List, Optional
 
 from repro.net.addresses import (
@@ -169,8 +170,6 @@ def _interleave_schedule(labels: List[int]) -> List[int]:
     """Spread duplicate labels apart so weighted round robin does not
     send consecutive flowcells down the same tree (p1,p2,p3,p2 rather
     than p1,p2,p2,p3)."""
-    from collections import Counter
-
     counts = Counter(labels)
     if not counts:
         return labels

@@ -1,0 +1,58 @@
+"""Determinism harness: byte-identical results across reruns, across
+serial/parallel execution, and against committed golden fixtures.
+
+The fixtures in ``tests/golden/`` were generated *before* the hot-path
+optimization pass (heap compaction, Packet/Segment pooling, callback
+flattening); re-running the same tiny configs on the current code and
+comparing bytes is what proves those optimizations behavior-preserving.
+Any event reordered, any float expression regrouped, any RNG draw moved
+shows up here as a diff.
+
+Regenerate intentionally-changed goldens with ``python
+tools/gen_golden.py`` and review the fixture diff like any other code
+change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.goldens import golden_bytes, golden_run
+from repro.experiments.schemes import scheme_names
+from repro.runner import JobSpec, collect_results, run_jobs, to_jsonable
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SCHEMES = scheme_names()
+
+
+def result_bytes(result) -> str:
+    """Serialize a RunResult exactly as the fixtures store it."""
+    return json.dumps(to_jsonable(result), indent=2, sort_keys=True) + "\n"
+
+
+def test_serial_rerun_is_byte_identical():
+    assert golden_bytes("presto") == golden_bytes("presto")
+
+
+def test_parallel_matches_serial():
+    """The same runs through the sweep runner's worker pool produce the
+    same bytes: forked workers inherit nothing that changes results."""
+    schemes = ["presto", "ecmp"]
+    serial = [golden_bytes(s) for s in schemes]
+    specs = [JobSpec.make(golden_run, s, label=s) for s in schemes]
+    results = collect_results(run_jobs(specs, jobs=2))
+    assert [result_bytes(r) for r in results] == serial
+
+
+def test_every_scheme_has_a_golden_fixture():
+    assert {p.stem for p in GOLDEN_DIR.glob("*.json")} == set(SCHEMES)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_golden_fixture_unchanged(scheme):
+    fixture = (GOLDEN_DIR / f"{scheme}.json").read_text()
+    assert golden_bytes(scheme) == fixture, (
+        f"simulation behavior changed for {scheme!r}; if intentional, "
+        "regenerate with tools/gen_golden.py and review the fixture diff"
+    )

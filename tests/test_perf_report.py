@@ -1,0 +1,92 @@
+"""Unit tests for the perf suite's reporting/baseline layer."""
+
+import json
+
+from repro.perf.report import (
+    SCHEMA,
+    check_regression,
+    load_baseline,
+    render_table,
+    results_payload,
+    write_bench_json,
+)
+from repro.perf.suite import BENCHES, MACRO_BENCHES, MICRO_BENCHES, BenchResult
+
+
+def result(name, kind, events_per_sec, scale=1.0):
+    events = 1000
+    return BenchResult(
+        name=name, kind=kind, wall_s=events / events_per_sec, events=events,
+        events_per_sec=events_per_sec, peak_rss_bytes=1 << 25, rounds=3,
+        scale=scale,
+    )
+
+
+def baseline_for(results):
+    return results_payload(results)
+
+
+def test_registry_partitions():
+    assert set(MICRO_BENCHES) | set(MACRO_BENCHES) == set(BENCHES)
+    assert not set(MICRO_BENCHES) & set(MACRO_BENCHES)
+
+
+def test_payload_without_baseline_has_no_speedup():
+    payload = results_payload([result("a", "micro", 100.0)])
+    assert payload["schema"] == SCHEMA
+    assert "speedup_vs_baseline" not in payload
+    assert check_regression(payload) == []
+
+
+def test_speedup_and_macro_min():
+    base = baseline_for([
+        result("m1", "micro", 100.0),
+        result("M1", "macro", 100.0),
+        result("M2", "macro", 100.0),
+    ])
+    payload = results_payload(
+        [result("m1", "micro", 150.0),
+         result("M1", "macro", 130.0),
+         result("M2", "macro", 120.0)],
+        base,
+    )
+    assert payload["speedup_vs_baseline"]["m1"] == 1.5
+    assert payload["macro_speedup_min"] == 1.2
+
+
+def test_check_regression_gates_micros_only():
+    base = baseline_for([
+        result("m1", "micro", 100.0),
+        result("M1", "macro", 100.0),
+    ])
+    payload = results_payload(
+        [result("m1", "micro", 79.0), result("M1", "macro", 50.0)], base)
+    failures = check_regression(payload)
+    assert len(failures) == 1 and "m1" in failures[0]
+    assert check_regression(payload, max_drop=0.25) == []
+
+
+def test_scaled_run_never_compares_against_full_scale_baseline():
+    """Regression: a --scale 0.25 smoke run used to divide its
+    events/sec by the full-scale baseline's and trip the gate."""
+    base = baseline_for([result("m1", "micro", 100.0, scale=1.0)])
+    payload = results_payload([result("m1", "micro", 30.0, scale=0.25)], base)
+    assert "speedup_vs_baseline" not in payload
+    assert check_regression(payload) == []
+
+
+def test_render_table_mentions_macro_min():
+    base = baseline_for([result("M1", "macro", 100.0)])
+    payload = results_payload([result("M1", "macro", 125.0)], base)
+    table = render_table(payload)
+    assert "1.25x" in table and "min across macros" in table
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    payload = results_payload([result("a", "micro", 100.0)])
+    path = tmp_path / "BENCH_perf.json"
+    write_bench_json(payload, str(path))
+    assert load_baseline(str(path)) == json.loads(path.read_text())
+    assert load_baseline(str(tmp_path / "missing.json")) is None
+    (tmp_path / "bad.json").write_text("[]")
+    assert load_baseline(str(tmp_path / "bad.json")) is None

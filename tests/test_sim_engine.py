@@ -120,6 +120,73 @@ def test_step_executes_single_event():
     assert sim.step() is False
 
 
+def test_heap_bounded_under_cancel_churn():
+    """Regression for the cancelled-event heap leak: TCP-style
+    cancel/re-arm of a long-dated timer per ACK used to leave every
+    cancelled entry in the heap until its far-future pop time."""
+    sim = Simulator()
+    n_timers = 64
+    timers = [sim.schedule(20_000_000 + i, lambda: None)
+              for i in range(n_timers)]
+    ops = 20_000
+    for i in range(ops):
+        idx = i % n_timers
+        timers[idx].cancel()
+        timers[idx] = sim.schedule(20_000_000 + i, lambda: None)
+    # without compaction the heap would hold ~ops dead entries
+    assert sim.pending_count() < 4 * n_timers + 256
+
+
+def test_cancel_churn_preserves_results():
+    """Compaction must not change which events fire or in what order."""
+    sim = Simulator()
+    fired = []
+    timers = {}
+    for i in range(64):
+        timers[i] = sim.schedule(1_000_000 + i, fired.append, ("stale", i))
+    for round_ in range(40):
+        for i in range(64):
+            timers[i].cancel()
+            timers[i] = sim.schedule(
+                1_000_000 + 64 * round_ + i, fired.append, ("live", round_, i))
+    sim.run()
+    assert fired == [("live", 39, i) for i in range(64)]
+
+
+def test_compaction_during_run_keeps_pop_order():
+    """Mass-cancelling from inside a callback triggers compaction while
+    run() is mid-dispatch; the surviving events must still fire exactly
+    once, in (time, seq) order."""
+    sim = Simulator()
+    fired = []
+    victims = [sim.schedule(1_000_000 + i, fired.append, f"victim{i}")
+               for i in range(500)]
+
+    def massacre():
+        fired.append("massacre")
+        for v in victims[:400]:
+            v.cancel()
+        sim.schedule(1, fired.append, "after")
+
+    sim.schedule(10, massacre)
+    sim.schedule(20, fired.append, "tail")
+    sim.run()
+    assert fired[:3] == ["massacre", "after", "tail"]
+    assert fired[3:] == [f"victim{i}" for i in range(400, 500)]
+    assert sim.events_executed == len(fired)
+
+
+def test_events_executed_counts_fired_not_cancelled():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.schedule(10, lambda: None).cancel()
+    sim.run()
+    assert sim.events_executed == 5
+    assert sim.step() is False
+    assert sim.events_executed == 5
+
+
 class TestRandomStreams:
     def test_same_name_same_stream(self):
         streams = RandomStreams(seed=1)

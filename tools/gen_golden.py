@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate the determinism golden fixtures in tests/golden/.
+
+Usage::
+
+    python tools/gen_golden.py            # all schemes
+    python tools/gen_golden.py presto     # one scheme
+
+Goldens pin the simulator's exact behavior (see
+``repro.experiments.goldens``); only regenerate them when a change is
+*meant* to alter simulation results, and review the diff.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.goldens import golden_bytes  # noqa: E402
+from repro.experiments.schemes import scheme_names  # noqa: E402
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "tests", "golden")
+
+
+def main(argv):
+    schemes = argv[1:] or scheme_names()
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for scheme in schemes:
+        path = os.path.join(GOLDEN_DIR, f"{scheme}.json")
+        data = golden_bytes(scheme)
+        with open(path, "w") as fh:
+            fh.write(data)
+        print(f"wrote {os.path.relpath(path)} ({len(data)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
