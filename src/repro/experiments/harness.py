@@ -102,6 +102,13 @@ class TestbedConfig:
     gro_loss_detection: bool = True
     gro_initial_ewma_ns: Optional[int] = None
     gro_alpha: Optional[float] = None
+    #: arm the always-on invariants (repro.validate): every ``run()``
+    #: checks conservation laws and raises InvariantViolation on a
+    #: breach.  Tri-state on purpose: the None default is omitted from
+    #: serialization (``omit_if_none``) so armed-off configs hash — and
+    #: hit the result-store cache — exactly like historic ones.
+    validate: Optional[bool] = field(
+        default=None, metadata={"omit_if_none": True})
 
     def __post_init__(self) -> None:
         """Fail at construction, with actionable messages, instead of
@@ -184,6 +191,15 @@ class Testbed:
         self.control_plane = None
         if self.telemetry.enabled:
             instrument_testbed(self)
+        #: armed invariant probe (repro.validate); None when not armed
+        self.validation = None
+        #: InvariantReport from the most recent validated run()
+        self.last_invariant_report = None
+        if cfg.validate:
+            # Local import: repro.validate imports this module.
+            from repro.validate.invariants import ValidationProbe
+
+            self.validation = ValidationProbe(self)
 
     # --- construction -----------------------------------------------------------
 
@@ -382,6 +398,19 @@ class Testbed:
 
     def run(self, until_ns: int) -> None:
         self.sim.run(until=until_ns)
+        if self.cfg.validate:
+            from repro.validate.invariants import (
+                InvariantViolation,
+                runtime_check,
+            )
+
+            report = runtime_check(self)
+            self.last_invariant_report = report
+            if not report.ok:
+                raise InvariantViolation(
+                    f"{len(report.violations)} invariant violation(s) "
+                    f"after run to t={until_ns}: "
+                    + "; ".join(report.violations))
 
     # --- measurement ----------------------------------------------------------
 

@@ -85,6 +85,12 @@ def _cmd_soak(ns: argparse.Namespace) -> int:
     from repro.experiments.harness import format_table
     from repro.units import msec
 
+    if ns.jobs is not None and ns.jobs < 1:
+        print(f"--jobs must be >= 1, got {ns.jobs}", file=sys.stderr)
+        return 2
+    if ns.timeout is not None and ns.timeout <= 0:
+        print(f"--timeout must be positive, got {ns.timeout}", file=sys.stderr)
+        return 2
     store = None if ns.no_store else ResultStore(ns.results_dir)
     log = None if ns.quiet else (lambda msg: print(msg, file=sys.stderr))
     report = run_soak(

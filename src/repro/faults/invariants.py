@@ -1,139 +1,23 @@
-"""Post-run invariants the chaos soak asserts after every case.
-
-These are whole-system conservation laws, not per-feature assertions —
-the point is that *any* bug in the fault plumbing (a queue flushed
-without counting, a forwarding loop, a schedule the controller forgot
-to push, an event left ticking) shows up as a violated invariant even
-when no test anticipated that specific bug.
-
-1. **Quiesce** — once all bounded transfers are done and the topology
-   restored, the event heap must drain: nothing may keep rescheduling
-   itself forever.
-2. **No stuck flows** — every bounded transfer completes (TCP's
-   retransmit machinery must survive arbitrary restored fault
-   schedules).
-3. **Byte conservation** — every wire byte a host NIC transmitted is
-   either received by a host NIC (delivered or ring-dropped) or shows
-   up in exactly one drop counter along the path:
-
-   ``nic_tx = nic_rx + nic_ring_drop + queue_drops + wire_drops
-   + no_route_drops + ttl_drops``  (all in wire bytes)
-
-4. **Schedule consistency** — after the control plane's last reaction,
-   every vSwitch's label schedule equals what the controller would
-   compute from the final topology (no stale weighted schedules, no
-   missed recovery).
+"""Compatibility shim: the invariants grew out of the chaos soak and
+now live in :mod:`repro.validate.invariants`, where any ``Testbed`` run
+can arm them (``TestbedConfig(validate=True)``) — the soak keeps its
+historic import path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from repro.validate.invariants import (  # noqa: F401
+    InvariantReport,
+    InvariantViolation,
+    ValidationProbe,
+    byte_ledger,
+    check_invariants,
+)
 
-
-@dataclass
-class InvariantReport:
-    """Outcome of :func:`check_invariants`: violations + the evidence."""
-
-    violations: List[str] = field(default_factory=list)
-    stats: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
-
-
-def _all_ports(tb):
-    for sw in tb.topo.switches.values():
-        for port in sw.ports:
-            yield port
-    for host in tb.hosts:
-        if host.nic.port is not None:
-            yield host.nic.port
-
-
-def byte_ledger(tb) -> Dict[str, int]:
-    """The conservation ledger, in wire bytes."""
-    ledger = {
-        "nic_tx": sum(h.nic.tx_bytes for h in tb.hosts),
-        "nic_rx": sum(h.nic.rx_bytes for h in tb.hosts),
-        "nic_ring_drop": sum(h.nic.ring_drop_bytes for h in tb.hosts),
-        "queue_drop": 0,
-        "wire_drop": 0,
-        "no_route_drop": sum(
-            sw.no_route_drop_bytes for sw in tb.topo.switches.values()),
-        "ttl_drop": sum(
-            sw.ttl_drop_bytes for sw in tb.topo.switches.values()),
-    }
-    for port in _all_ports(tb):
-        ledger["queue_drop"] += port.queue.dropped_bytes
-        ledger["wire_drop"] += port.wire_drop_bytes
-    ledger["accounted"] = (
-        ledger["nic_rx"] + ledger["nic_ring_drop"] + ledger["queue_drop"]
-        + ledger["wire_drop"] + ledger["no_route_drop"] + ledger["ttl_drop"])
-    return ledger
-
-
-def check_invariants(
-    tb,
-    transfers,
-    check_quiesced: bool = True,
-    check_schedules: bool = True,
-) -> InvariantReport:
-    """Run all invariants against a finished testbed.
-
-    ``transfers`` are the run's *bounded* transfers (objects with the
-    :class:`~repro.host.transfer.Transfer` interface plus ``fct_ns``).
-    ``check_schedules`` should be False when the control plane has a
-    reaction still pending at the horizon (then schedules legitimately
-    lag the topology).
-    """
-    report = InvariantReport()
-
-    # 1. quiesce
-    pending = tb.sim.peek_time()
-    report.stats["quiesced"] = int(pending is None)
-    if check_quiesced and pending is not None:
-        report.violations.append(
-            f"sim did not quiesce: event still pending at t={pending}")
-
-    # 2. no stuck flows
-    stuck = [t for t in transfers if getattr(t, "fct_ns", None) is None]
-    report.stats["flows_total"] = len(list(transfers))
-    report.stats["flows_stuck"] = len(stuck)
-    for t in stuck:
-        report.violations.append(
-            f"stuck transfer: flows {t.flow_ids()} delivered "
-            f"{t.delivered_bytes()} bytes, never completed")
-
-    # 3. byte conservation
-    ledger = byte_ledger(tb)
-    report.stats.update(ledger)
-    if ledger["nic_tx"] != ledger["accounted"]:
-        report.violations.append(
-            "byte conservation violated: "
-            f"nic_tx={ledger['nic_tx']} != accounted={ledger['accounted']} "
-            f"(delta={ledger['nic_tx'] - ledger['accounted']}, "
-            f"ledger={ledger})")
-
-    # 4. schedules consistent with the final topology
-    if check_schedules:
-        mismatches = 0
-        for lb in tb.controller._vswitches:
-            for dst_host in tb.topo.hosts:
-                if dst_host == lb.host_id:
-                    continue
-                expected = tb.controller.schedule_for(lb.host_id, dst_host)
-                if lb.labels_for(dst_host) != expected:
-                    mismatches += 1
-                    if mismatches <= 3:  # keep the report readable
-                        report.violations.append(
-                            f"stale schedule at host {lb.host_id} -> "
-                            f"{dst_host}: {lb.labels_for(dst_host)} != "
-                            f"{expected}")
-        if mismatches > 3:
-            report.violations.append(
-                f"... and {mismatches - 3} more stale schedules")
-        report.stats["schedule_mismatches"] = mismatches
-
-    return report
+__all__ = [
+    "InvariantReport",
+    "InvariantViolation",
+    "ValidationProbe",
+    "byte_ledger",
+    "check_invariants",
+]

@@ -62,6 +62,15 @@ class GroBase:
     def held_segment_count(self) -> int:
         return 0
 
+    def held_packet_count(self) -> int:
+        """Wire packets merged into segments not yet pushed up the stack.
+
+        Together with ``merged_pkts`` and a count of pushed packets this
+        closes the GRO conservation law checked by ``repro.validate``:
+        ``merged_pkts == pushed + held`` at any event boundary.
+        """
+        return 0
+
 
 class OfficialGro(GroBase):
     """Stock Linux GRO: at most one in-flight segment per flow."""
@@ -102,6 +111,13 @@ class OfficialGro(GroBase):
         self._ready = []
         self._current.clear()
         return out
+
+    def held_segment_count(self) -> int:
+        return len(self._ready) + len(self._current)
+
+    def held_packet_count(self) -> int:
+        return (sum(s.pkt_count for s in self._ready)
+                + sum(s.pkt_count for s in self._current.values()))
 
 
 class _PrestoFlow:
@@ -286,3 +302,8 @@ class PrestoGro(GroBase):
 
     def held_segment_count(self) -> int:
         return len(self._ready) + sum(len(f.segments) for f in self._flows.values())
+
+    def held_packet_count(self) -> int:
+        return (sum(s.pkt_count for s in self._ready)
+                + sum(s.pkt_count
+                      for f in self._flows.values() for s in f.segments))

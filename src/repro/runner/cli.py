@@ -167,6 +167,9 @@ def _cmd_run(ns: argparse.Namespace) -> int:
     if ns.jobs is not None and ns.jobs < 1:
         print(f"--jobs must be >= 1, got {ns.jobs}", file=sys.stderr)
         return 2
+    if ns.timeout is not None and ns.timeout <= 0:
+        print(f"--timeout must be positive, got {ns.timeout}", file=sys.stderr)
+        return 2
     try:
         points = _csv_ints(ns.points) or tuple(sweep.default_points)
         seeds = _csv_ints(ns.seeds)

@@ -102,6 +102,10 @@ def run_jobs(
         jobs = os.cpu_count() or 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if timeout_s is not None and timeout_s <= 0:
+        # A non-positive timeout would mark every in-flight job timed
+        # out on the first poll and thrash pool restarts forever.
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
 
     def _log(msg: str) -> None:
         if log is not None:

@@ -37,12 +37,20 @@ class ResultStore:
         return os.path.join(self.store_dir, f"{spec.hash}.json")
 
     def load_record(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
-        """The stored record for ``spec``, or None on miss/corruption."""
+        """The stored record for ``spec``, or None on miss/corruption.
+
+        Corruption covers structure, not just syntax: a record that
+        parses but lost its ``result`` (truncated write, hand-edit) is
+        a cache miss — the job re-runs and overwrites it.
+        """
         try:
             with open(self.path_for(spec)) as fh:
-                return json.load(fh)
+                record = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return None
+        if not isinstance(record, dict) or "result" not in record:
+            return None
+        return record
 
     def save(
         self,

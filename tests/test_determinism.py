@@ -56,3 +56,24 @@ def test_golden_fixture_unchanged(scheme):
         f"simulation behavior changed for {scheme!r}; if intentional, "
         "regenerate with tools/gen_golden.py and review the fixture diff"
     )
+
+
+@pytest.mark.tier2
+def test_oracle_reports_byte_identical_across_runs_and_serial_vs_parallel():
+    """Every figure oracle's OracleReport JSON is byte-identical across
+    two runs and between serial and pooled execution (store disabled so
+    nothing is cached away)."""
+    from repro.validate.oracles import run_oracles
+    from repro.validate.report import validation_payload
+
+    kw = dict(seeds=(1, 2), scale=0.1, store=None)
+
+    def payload_bytes(reports):
+        return json.dumps(validation_payload(reports),
+                          indent=2, sort_keys=True)
+
+    first = payload_bytes(run_oracles(jobs=1, **kw))
+    second = payload_bytes(run_oracles(jobs=1, **kw))
+    pooled = payload_bytes(run_oracles(jobs=2, **kw))
+    assert first == second
+    assert first == pooled

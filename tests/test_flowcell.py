@@ -131,3 +131,65 @@ def test_presto_lb_acks_stay_on_one_label():
         lb.select(ack)
         macs.add(ack.dst_mac)
     assert len(macs) == 1
+
+
+# --- boundary edges: exact 64 KB landings and TSO-disabled streams ----------
+
+MSS = 1448  # TSO disabled: TCP hands the vSwitch MSS-sized segments
+
+
+def test_exact_boundary_segments_rotate_per_segment():
+    """Segments exactly one flowcell wide: each one fills its cell to
+    the byte, so every subsequent segment starts a fresh cell on the
+    next label."""
+    tagger = FlowcellTagger()
+    for i in range(9):
+        idx, cell = tagger.tag(1, FLOWCELL_BYTES, 4)
+        assert cell == i + 1
+        assert idx == i % 4
+
+
+@given(
+    cuts=st.lists(st.integers(1, FLOWCELL_BYTES - 1), max_size=8),
+    n_labels=st.integers(1, 8),
+    reps=st.integers(1, 4),
+)
+def test_segments_landing_exactly_on_boundary_keep_round_robin(
+        cuts, n_labels, reps):
+    """Partition the 64 KB cell into segments whose last byte lands
+    exactly on the boundary, repeated: no rotation mid-partition, and
+    each repetition starts the next cell on the next label."""
+    bounds = sorted(set(cuts))
+    sizes = [b - a for a, b in zip([0] + bounds, bounds + [FLOWCELL_BYTES])]
+    sizes = [s for s in sizes if s > 0]
+    assert sum(sizes) == FLOWCELL_BYTES
+    tagger = FlowcellTagger()
+    for rep in range(reps):
+        for size in sizes:
+            idx, cell = tagger.tag(3, size, n_labels)
+            assert cell == rep + 1
+            assert idx == rep % n_labels
+
+
+@given(n_segments=st.integers(1, 200), n_labels=st.integers(1, 8))
+def test_tso_disabled_mss_stream_rotates_on_64kb(n_segments, n_labels):
+    """With TSO off the tagger only ever sees MSS-sized segments; cells
+    still carry at most 64 KB, IDs step by exactly one and labels stay
+    round-robin."""
+    tagger = FlowcellTagger()
+    per_cell = {}
+    prev_cell, prev_idx = 0, None
+    for _ in range(n_segments):
+        idx, cell = tagger.tag(7, MSS, n_labels)
+        assert cell in (prev_cell, prev_cell + 1)
+        if prev_idx is not None:
+            expected = (prev_idx + 1) % n_labels if cell > prev_cell else prev_idx
+            assert idx == expected
+        per_cell[cell] = per_cell.get(cell, 0) + MSS
+        prev_cell, prev_idx = cell, idx
+    assert all(total <= FLOWCELL_BYTES for total in per_cell.values())
+    # every closed cell packed with the same maximal MSS count
+    full = (FLOWCELL_BYTES // MSS) * MSS
+    for cell, total in per_cell.items():
+        if cell < prev_cell:
+            assert total == full

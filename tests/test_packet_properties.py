@@ -129,3 +129,55 @@ def test_flowcell_ids_monotone_per_flow_with_recycled_segments(sizes):
         assert seg.dst_mac in (101, 102, 103, 104)
         last[flow] = seg.flowcell_id
         seg.release()
+
+
+def test_exact_boundary_segments_round_robin_with_recycled_segments():
+    """64 KB segments whose last byte lands exactly on the flowcell
+    boundary, every instance pool-recycled: IDs step by one and the
+    stamped labels walk the schedule in order."""
+    Segment._pool.clear()
+    lb = PrestoLb(0, rng=random.Random(7))
+    schedule = [101, 102, 103, 104]
+    lb.set_schedule(1, schedule)
+    macs, cells = [], []
+    for i in range(8):
+        seg = Segment.alloc(flow_id=3, src_host=0, dst_host=1,
+                            seq=i * FLOWCELL_BYTES,
+                            end_seq=(i + 1) * FLOWCELL_BYTES)
+        lb.select(seg)
+        macs.append(seg.dst_mac)
+        cells.append(seg.flowcell_id)
+        seg.release()
+    assert cells == list(range(1, 9))
+    start = schedule.index(macs[0])
+    assert macs == [schedule[(start + i) % 4] for i in range(8)]
+
+
+@given(n=st.integers(1, 120))
+@settings(max_examples=30, deadline=None)
+def test_tso_disabled_stream_preserves_label_rotation(n):
+    """TSO off: MSS-sized segments through the vSwitch still batch into
+    64 KB flowcells, one label per cell, consecutive cells landing on
+    consecutive schedule entries."""
+    Segment._pool.clear()
+    mss = 1448
+    lb = PrestoLb(0, rng=random.Random(11))
+    schedule = [201, 202, 203]
+    lb.set_schedule(1, schedule)
+    seen = []
+    for i in range(n):
+        seg = Segment.alloc(flow_id=5, src_host=0, dst_host=1,
+                            seq=i * mss, end_seq=(i + 1) * mss)
+        lb.select(seg)
+        seen.append((seg.flowcell_id, seg.dst_mac))
+        seg.release()
+    cells = [c for c, _ in seen]
+    assert cells == sorted(cells), "flowcell ID went backwards"
+    assert all(b - a <= 1 for a, b in zip(cells, cells[1:])), "ID skipped"
+    by_cell = {}
+    for cell, mac in seen:
+        by_cell.setdefault(cell, set()).add(mac)
+    assert all(len(m) == 1 for m in by_cell.values()), "label changed mid-cell"
+    ordered = [next(iter(by_cell[c])) for c in sorted(by_cell)]
+    start = schedule.index(ordered[0])
+    assert ordered == [schedule[(start + i) % 3] for i in range(len(ordered))]

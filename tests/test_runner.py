@@ -245,3 +245,50 @@ def test_cli_validates_grid_options(capsys):
     assert "at least one seed" in capsys.readouterr().err
     assert cli_main(["run", "scalability", "--schemes", "zigzag"]) == 2
     assert "unknown scheme" in capsys.readouterr().err
+
+
+# --- store corruption = cache miss ------------------------------------------
+
+@pytest.mark.parametrize("garbage", [
+    "",                                  # empty file
+    '{"hash": "abc", "result',           # truncated mid-write
+    "not json at all \x00",              # binary noise
+    "[1, 2, 3]",                         # valid JSON, wrong shape
+    '{"hash": "abc"}',                   # dict missing the result field
+])
+def test_corrupt_store_entry_is_cache_miss_and_reruns(tmp_path, garbage):
+    marker = tmp_path / "runs"
+    spec = JobSpec.make(job_marker, path=str(marker), value=9)
+    store = ResultStore(str(tmp_path / "results"))
+    run_jobs([spec], jobs=1, store=store)
+    assert marker.read_text() == "x"
+
+    (record_path,) = [
+        os.path.join(store.store_dir, f)
+        for f in os.listdir(store.store_dir) if f.endswith(".json")
+    ]
+    with open(record_path, "w") as fh:
+        fh.write(garbage)
+
+    out = run_jobs([spec], jobs=1, store=store)
+    assert [o.status for o in out] == ["ok"]  # re-ran, not "cached"
+    assert marker.read_text() == "xx"
+    assert collect_results(out) == [9]
+    # and the re-run repaired the record
+    again = run_jobs([spec], jobs=1, store=store)
+    assert [o.status for o in again] == ["cached"]
+
+
+# --- jobs/timeout validation ------------------------------------------------
+
+@pytest.mark.parametrize("timeout_s", [0, -1, -0.5])
+def test_run_jobs_rejects_nonpositive_timeout(timeout_s):
+    with pytest.raises(ValueError, match="timeout"):
+        run_jobs([JobSpec.make(job_ok)], jobs=1, timeout_s=timeout_s)
+
+
+def test_cli_rejects_nonpositive_timeout(capsys):
+    assert cli_main(["run", "scalability", "--timeout", "0"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+    assert cli_main(["run", "scalability", "--timeout", "-3"]) == 2
+    assert "--timeout" in capsys.readouterr().err
