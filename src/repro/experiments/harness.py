@@ -109,6 +109,13 @@ class TestbedConfig:
     #: hit the result-store cache — exactly like historic ones.
     validate: Optional[bool] = field(
         default=None, metadata={"omit_if_none": True})
+    #: engine fidelity: "packet" (default) queues every frame, "flow"
+    #: runs the fluid engine (repro.fluid).  Tri-state like ``validate``:
+    #: None is omitted from serialization so historic packet-fidelity
+    #: configs keep their ResultStore hashes, and an explicit "packet"
+    #: normalizes to None in __post_init__ for the same reason.
+    fidelity: Optional[str] = field(
+        default=None, metadata={"omit_if_none": True})
 
     def __post_init__(self) -> None:
         """Fail at construction, with actionable messages, instead of
@@ -152,6 +159,13 @@ class TestbedConfig:
         if self.gro_alpha is not None and self.gro_alpha <= 0:
             raise ValueError(
                 f"gro_alpha must be positive, got {self.gro_alpha}")
+        if self.fidelity == "packet":
+            # explicit default: hash like historic configs
+            self.fidelity = None
+        if self.fidelity not in (None, "flow"):
+            raise ValueError(
+                f"fidelity must be 'packet' or 'flow', "
+                f"got {self.fidelity!r}")
 
     def with_scheme(self, scheme: str) -> "TestbedConfig":
         return replace(self, scheme=scheme)
@@ -161,6 +175,19 @@ class Testbed:
     """A built, runnable instance of one configuration."""
 
     __test__ = False  # not a pytest class, despite the name
+
+    def __new__(cls, cfg: TestbedConfig,
+                telemetry: Optional[TelemetryConfig] = None):
+        # The fidelity knob picks the engine: ``Testbed(cfg)`` with
+        # fidelity="flow" builds a FluidTestbed, so every caller —
+        # experiments, sweeps, oracles — selects fidelity through the
+        # config alone.  (type.__call__ then runs the *instance's*
+        # class __init__, i.e. FluidTestbed.__init__.)
+        if cls is Testbed and getattr(cfg, "fidelity", None) == "flow":
+            from repro.fluid.testbed import FluidTestbed
+
+            return object.__new__(FluidTestbed)
+        return object.__new__(cls)
 
     def __init__(
         self,

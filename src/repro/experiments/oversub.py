@@ -44,12 +44,15 @@ class OversubPoint:
         return self.n_pairs / 2.0
 
 
-def oversub_config(scheme: str, n_pairs: int, seed: int) -> TestbedConfig:
+def oversub_config(
+    scheme: str, n_pairs: int, seed: int,
+    fidelity: Optional[str] = None,
+) -> TestbedConfig:
     """The Fig 4b testbed for one sweep cell: 2 spines, n_pairs host
     pairs per leaf."""
     return TestbedConfig(
         scheme=scheme, n_spines=2, n_leaves=2, hosts_per_leaf=n_pairs,
-        seed=seed,
+        seed=seed, fidelity=fidelity,
     )
 
 
@@ -110,18 +113,20 @@ def oversub_specs(
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
     telemetry: Optional[TelemetryConfig] = None,
+    fidelity: Optional[str] = None,
 ) -> List[JobSpec]:
     """The full grid as runner jobs, ordered scheme > pair count > seed.
 
     ``telemetry`` joins a job's kwargs only when set, so default sweeps
-    keep their historical content hashes (cache keys stay warm)."""
+    keep their historical content hashes (cache keys stay warm);
+    ``fidelity`` rides inside each cell's config."""
     specs = []
     for scheme in schemes:
         for n_pairs in pair_counts:
             for seed in seeds:
                 label = f"oversub/{scheme}/pairs{n_pairs}/seed{seed}"
                 kwargs = dict(
-                    cfg=oversub_config(scheme, n_pairs, seed),
+                    cfg=oversub_config(scheme, n_pairs, seed, fidelity),
                     label=label,
                     warm_ns=warm_ns,
                     measure_ns=measure_ns,
@@ -146,10 +151,11 @@ def run_oversub(
     timeout_s: Optional[float] = None,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
+    fidelity: Optional[str] = None,
 ) -> Dict[str, List[OversubPoint]]:
     """The full Figs 10-12 grid, fanned out through the runner."""
     specs = oversub_specs(schemes, pair_counts, seeds, warm_ns, measure_ns,
-                          telemetry=telemetry)
+                          telemetry=telemetry, fidelity=fidelity)
     outcomes = run_jobs(
         specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
     )

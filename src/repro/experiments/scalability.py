@@ -40,12 +40,17 @@ class ScalabilityPoint:
     rtts_ns: List[int] = field(default_factory=list)
 
 
-def scalability_config(scheme: str, n_paths: int, seed: int) -> TestbedConfig:
+def scalability_config(
+    scheme: str, n_paths: int, seed: int,
+    fidelity: Optional[str] = None,
+) -> TestbedConfig:
     """The Fig 4a testbed for one sweep cell: n_paths spines, one
-    L1->L2 host pair per path."""
+    L1->L2 host pair per path.  ``fidelity="packet"`` normalizes to the
+    None default inside TestbedConfig, so explicit-packet cells hash —
+    and hit the ResultStore — exactly like historic ones."""
     return TestbedConfig(
         scheme=scheme, n_spines=n_paths, n_leaves=2, hosts_per_leaf=n_paths,
-        seed=seed,
+        seed=seed, fidelity=fidelity,
     )
 
 
@@ -107,18 +112,21 @@ def scalability_specs(
     measure_ns: int = DEFAULT_MEASURE_NS,
     with_probes: bool = True,
     telemetry: Optional[TelemetryConfig] = None,
+    fidelity: Optional[str] = None,
 ) -> List[JobSpec]:
     """The full grid as runner jobs, ordered scheme > path count > seed.
 
     ``telemetry`` joins a job's kwargs only when set, so default sweeps
-    keep their historical content hashes (cache keys stay warm)."""
+    keep their historical content hashes (cache keys stay warm);
+    ``fidelity`` rides inside each cell's config (where "packet"
+    normalizes to the hash-preserving None)."""
     specs = []
     for scheme in schemes:
         for n_paths in path_counts:
             for seed in seeds:
                 label = f"scalability/{scheme}/paths{n_paths}/seed{seed}"
                 kwargs = dict(
-                    cfg=scalability_config(scheme, n_paths, seed),
+                    cfg=scalability_config(scheme, n_paths, seed, fidelity),
                     label=label,
                     warm_ns=warm_ns,
                     measure_ns=measure_ns,
@@ -143,6 +151,7 @@ def run_scalability(
     timeout_s: Optional[float] = None,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
+    fidelity: Optional[str] = None,
 ) -> Dict[str, List[ScalabilityPoint]]:
     """The full Figs 7-9 grid, fanned out through the runner.
 
@@ -152,7 +161,7 @@ def run_scalability(
     """
     specs = scalability_specs(
         schemes, path_counts, seeds, warm_ns, measure_ns,
-        telemetry=telemetry,
+        telemetry=telemetry, fidelity=fidelity,
     )
     outcomes = run_jobs(
         specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log

@@ -198,11 +198,13 @@ def synthetic_specs(
     with_mice: bool = True,
     mice_interval_ns: int = msec(5),
     telemetry: Optional[TelemetryConfig] = None,
+    fidelity: Optional[str] = None,
 ) -> List[JobSpec]:
     """The full grid as runner jobs, ordered workload > scheme > seed.
 
     ``telemetry`` joins a job's kwargs only when set, so default sweeps
-    keep their historical content hashes (cache keys stay warm)."""
+    keep their historical content hashes (cache keys stay warm);
+    ``fidelity`` rides inside each cell's config."""
     for workload in workloads:
         _check_workload(workload)
     specs = []
@@ -211,7 +213,8 @@ def synthetic_specs(
             for seed in seeds:
                 label = f"synthetic/{workload}/{scheme}/seed{seed}"
                 kwargs = dict(
-                    cfg=TestbedConfig(scheme=scheme, seed=seed),
+                    cfg=TestbedConfig(scheme=scheme, seed=seed,
+                                      fidelity=fidelity),
                     label=label,
                     workload=workload,
                     warm_ns=warm_ns,
@@ -238,10 +241,11 @@ def run_figure15_16(
     timeout_s: Optional[float] = None,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
+    fidelity: Optional[str] = None,
 ) -> Dict[Tuple[str, str], SyntheticResult]:
     """The full Figs 15/16 grid, fanned out through the runner."""
     specs = synthetic_specs(schemes, workloads, seeds, warm_ns, measure_ns,
-                            telemetry=telemetry)
+                            telemetry=telemetry, fidelity=fidelity)
     outcomes = run_jobs(
         specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
     )

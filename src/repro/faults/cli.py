@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--warm-ms", type=float, default=15.0)
     fig.add_argument("--measure-ms", type=float, default=30.0,
                      help="per-phase measurement window, in simulated ms")
+    fig.add_argument(
+        "--fidelity", choices=("packet", "flow"), default=None,
+        help="simulation fidelity: packet (default) or the fluid "
+             "flow-level engine")
     return parser
 
 
@@ -119,7 +123,7 @@ def _cmd_fig17(ns: argparse.Namespace) -> int:
         STAGES,
         run_failure_timeline,
     )
-    from repro.experiments.harness import format_table
+    from repro.experiments.harness import TestbedConfig, format_table
     from repro.metrics.stats import mean
     from repro.units import msec
 
@@ -133,8 +137,12 @@ def _cmd_fig17(ns: argparse.Namespace) -> int:
     rows = []
     for workload in workloads:
         timelines = [
-            run_failure_timeline(workload, seed, warm_ns=msec(ns.warm_ms),
-                                 measure_ns=msec(ns.measure_ms))
+            run_failure_timeline(
+                workload, seed, warm_ns=msec(ns.warm_ms),
+                measure_ns=msec(ns.measure_ms),
+                cfg=(TestbedConfig(scheme="presto", seed=seed,
+                                   fidelity=ns.fidelity)
+                     if ns.fidelity else None))
             for seed in seeds
         ]
         per_stage = {

@@ -1,0 +1,3 @@
+from repro.fluid.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,266 @@
+"""Cross-fidelity divergence report: packet engine vs fluid engine.
+
+``python -m repro.fluid compare`` runs the same experiment cells at
+both fidelities — only ``cfg.fidelity`` differs — and reports, per
+cell and per metric, how far the fluid approximation strays from
+packet-level truth: mice FCT percentiles, per-link utilization over
+the measurement window, and aggregate goodput.  The report is fully
+deterministic (no wall-clock anywhere in the payload), so the tier-2
+cross-fidelity gate can diff it byte for byte.
+
+Two experiment families, chosen because the paper's headline claims
+live there:
+
+* ``scalability`` — stride elephants plus a mice stream across a
+  2-leaf Clos (Figs 9/11 territory): FCT percentiles + utilization.
+* ``failover`` — the Fig 17 timeline: a spine link dies mid-run;
+  per-phase goodput, time-to-failover/rebalance and link utilization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import fct_percentiles
+from repro.experiments.harness import Testbed, TestbedConfig
+from repro.experiments.scalability import scalability_config
+from repro.faults.schedule import FaultSchedule, LinkDown
+from repro.metrics.collectors import ThroughputMeter
+from repro.units import KB, SEC, msec, usec
+
+SCHEMA = "repro.fluid.compare/1"
+
+EXPERIMENTS = ("scalability", "failover")
+
+#: default schemes compared per cell (the paper's protagonist and its
+#: baseline; both must agree across fidelities for the oracles to hold)
+DEFAULT_SCHEMES = ("presto", "ecmp")
+
+
+def _scaled_ns(base_ns: int, scale: float) -> int:
+    return max(int(base_ns * scale), usec(100))
+
+
+def _link_bytes_packet(tb) -> Dict[str, int]:
+    """Per-directional-port tx bytes, switch and host sides."""
+    out: Dict[str, int] = {}
+    for name in sorted(tb.topo.switches):
+        for port in tb.topo.switches[name].ports:
+            out[port.name] = port.tx_bytes
+    for host in tb.hosts:
+        port = host.nic.port
+        if port is not None:
+            out[port.name] = port.tx_bytes
+    return out
+
+
+def _link_bytes(tb) -> Dict[str, int]:
+    if hasattr(tb, "engine"):
+        return tb.engine.link_bytes()
+    return _link_bytes_packet(tb)
+
+
+def _utilization(delta: Dict[str, int], tb, window_ns: int) -> Dict[str, float]:
+    """bytes -> fraction of line rate over the window, keyed by port."""
+    rates: Dict[str, float] = {}
+    for link in tb.topo.links:
+        for port in link.ports:
+            rates[port.name] = link.rate_bps
+    out = {}
+    for name in sorted(delta):
+        rate = rates.get(name)
+        if rate is None or window_ns <= 0:
+            continue
+        out[name] = round(delta[name] * 8 * SEC / (rate * window_ns), 6)
+    return out
+
+
+# --- cell runners ------------------------------------------------------------
+
+
+def _scalability_cell(cfg: TestbedConfig, warm_ns: int,
+                      measure_ns: int) -> Dict:
+    """Stride elephants + a mice stream on the scalability topology;
+    FCTs, utilization over the measure window, aggregate goodput."""
+    n_paths = cfg.n_spines
+    tb = Testbed(cfg)
+    apps = [tb.add_elephant(i, n_paths + i) for i in range(n_paths)]
+    mice = tb.add_mice(0, n_paths, size_bytes=50 * KB,
+                       interval_ns=_scaled_ns(msec(2), 1.0),
+                       stop_ns=warm_ns + measure_ns)
+    meter = ThroughputMeter()
+    for app in apps:
+        meter.track(app)
+    marks: Dict[str, Dict[str, int]] = {}
+    tb.sim.schedule(warm_ns, lambda: (meter.mark_start(tb.sim.now),
+                                      marks.update(warm=_link_bytes(tb))))
+    tb.run(warm_ns + measure_ns)
+    meter.mark_end(tb.sim.now)
+    end = _link_bytes(tb)
+    delta = {k: end.get(k, 0) - marks.get("warm", {}).get(k, 0)
+             for k in sorted(end)}
+    rates = meter.flow_rates_bps()
+    return {
+        "agg_gbps": round(sum(rates.values()) / 1e9, 4),
+        "fct_percentiles_ms": {k: round(v, 6) for k, v in
+                               fct_percentiles(mice.fcts_ns).items()},
+        "mice_count": len(mice.fcts_ns),
+        "link_utilization": _utilization(delta, tb, measure_ns),
+    }
+
+
+def _failover_cell(cfg: TestbedConfig, warm_ns: int,
+                   measure_ns: int) -> Dict:
+    """Fig 17 shape: 4 L1→L4 elephants, spine link L1--S1 dies after
+    the symmetric phase; per-phase goodput and whole-run utilization."""
+    tb = Testbed(cfg)
+    tb.controller.enable_fast_failover(cfg.failover_latency_ns)
+    tb.enable_control_plane()
+    apps = [tb.add_elephant(i, 12 + i) for i in range(4)]
+    t_fault = warm_ns + measure_ns
+    t_end = t_fault + 2 * measure_ns
+    FaultSchedule.of(LinkDown(t_fault, "L1--S1")).arm(tb.sim, tb.topo)
+
+    phases = {}
+    meter = ThroughputMeter()
+    for app in apps:
+        meter.track(app)
+
+    def mark(name, start, end):
+        tb.sim.schedule(start, lambda: meter.mark_start(tb.sim.now))
+
+        def close():
+            meter.mark_end(tb.sim.now)
+            phases[name] = round(
+                sum(meter.flow_rates_bps().values()) / 1e9, 4)
+        tb.sim.schedule(end, close)
+
+    mark("before", warm_ns, t_fault)
+    mark("after", t_fault + cfg.failover_latency_ns + msec(1), t_end)
+    base = {}
+    tb.sim.schedule(warm_ns, lambda: base.update(_link_bytes(tb)))
+    tb.run(t_end)
+    end_bytes = _link_bytes(tb)
+    delta = {k: end_bytes.get(k, 0) - base.get(k, 0)
+             for k in sorted(end_bytes)}
+    return {
+        "phase_agg_gbps": phases,
+        "link_utilization": _utilization(delta, tb, t_end - warm_ns),
+    }
+
+
+# --- divergence --------------------------------------------------------------
+
+
+def _rel(packet: float, flow: float) -> Optional[float]:
+    if packet == 0:
+        return None
+    return round((flow - packet) / packet, 6)
+
+
+def _divergence(packet: Dict, flow: Dict) -> Dict:
+    out: Dict[str, object] = {}
+    fct_p = packet.get("fct_percentiles_ms") or {}
+    fct_f = flow.get("fct_percentiles_ms") or {}
+    for key in sorted(set(fct_p) & set(fct_f)):
+        out[f"fct_{key}_rel"] = _rel(fct_p[key], fct_f[key])
+    if "agg_gbps" in packet and "agg_gbps" in flow:
+        out["agg_rel"] = _rel(packet["agg_gbps"], flow["agg_gbps"])
+    for name, agg_p in (packet.get("phase_agg_gbps") or {}).items():
+        agg_f = (flow.get("phase_agg_gbps") or {}).get(name)
+        if agg_f is not None:
+            out[f"phase_{name}_rel"] = _rel(agg_p, agg_f)
+    util_p = packet.get("link_utilization") or {}
+    util_f = flow.get("link_utilization") or {}
+    shared = sorted(set(util_p) & set(util_f))
+    if shared:
+        gaps = [abs(util_f[k] - util_p[k]) for k in shared]
+        out["link_util_mean_abs"] = round(sum(gaps) / len(gaps), 6)
+        out["link_util_max_abs"] = round(max(gaps), 6)
+        out["link_util_links"] = len(shared)
+    return out
+
+
+# --- driver ------------------------------------------------------------------
+
+
+def _cell_config(experiment: str, scheme: str, seed: int) -> TestbedConfig:
+    if experiment == "scalability":
+        return scalability_config(scheme, n_paths=4, seed=seed)
+    if experiment == "failover":
+        return TestbedConfig(scheme=scheme, seed=seed)
+    raise ValueError(
+        f"unknown experiment {experiment!r}; pick from {EXPERIMENTS}")
+
+
+def _run_cell(experiment: str, cfg: TestbedConfig, scale: float) -> Dict:
+    if experiment == "scalability":
+        return _scalability_cell(cfg, _scaled_ns(msec(10), scale),
+                                 _scaled_ns(msec(20), scale))
+    return _failover_cell(cfg, _scaled_ns(msec(10), scale),
+                          _scaled_ns(msec(20), scale))
+
+
+def compare_report(
+    experiments: Sequence[str] = EXPERIMENTS,
+    seeds: Sequence[int] = (1, 2, 3),
+    scale: float = 1.0,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    log=None,
+) -> Dict:
+    """Run every (experiment, scheme, seed) cell at both fidelities and
+    fold per-metric divergence into one JSON-able report."""
+    for experiment in experiments:
+        if experiment not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {experiment!r}; pick from "
+                f"{EXPERIMENTS}")
+    report: Dict = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "seeds": list(seeds),
+        "schemes": list(schemes),
+        "experiments": {},
+    }
+    for experiment in experiments:
+        cells: Dict[str, Dict] = {}
+        for scheme in schemes:
+            for seed in seeds:
+                label = f"{scheme}/seed{seed}"
+                if log:
+                    log(f"compare: {experiment}/{label}")
+                base = _cell_config(experiment, scheme, seed)
+                packet = _run_cell(experiment, base, scale)
+                flow = _run_cell(
+                    experiment, replace(base, fidelity="flow"), scale)
+                cells[label] = {
+                    "packet": packet,
+                    "flow": flow,
+                    "divergence": _divergence(packet, flow),
+                }
+        report["experiments"][experiment] = {
+            "cells": cells,
+            "summary": _summarize(cells),
+        }
+    return report
+
+
+def _summarize(cells: Dict[str, Dict]) -> Dict:
+    """Worst-case per-metric divergence across a family's cells."""
+    worst: Dict[str, float] = {}
+    for cell in cells.values():
+        for key, value in cell["divergence"].items():
+            if key == "link_util_links" or value is None:
+                continue
+            magnitude = abs(value)
+            if magnitude > abs(worst.get(key, 0.0)):
+                worst[key] = value
+    return {key: worst[key] for key in sorted(worst)}
+
+
+def write_report(report: Dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

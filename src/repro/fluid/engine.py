@@ -1,0 +1,522 @@
+"""The fluid engine: transfers as max-min fluid demands over real paths.
+
+Instead of queueing packets, the engine keeps every active transfer as
+a set of *pipes* — (wire flow id, LB label, resolved port path, byte
+fraction) — and recomputes a weighted max-min fair allocation
+(:func:`repro.fluid.allocator.max_min_allocation`) whenever the flow
+population or the topology changes: transfer arrival, transfer
+completion, link up/down/rate events, and controller schedule pushes.
+Between reallocations rates are constant, so delivered bytes are exact
+integrals and the next completion time is a single division — one sim
+event per transition instead of one per packet.
+
+Fidelity anchors (what stays *identical* to the packet engine):
+
+* **Path selection.**  Flows are sliced into the same 64 KB flowcells
+  and pushed through the real ``repro.lb`` scheme objects
+  (``select()`` / ``packet_labeler()``), so Presto's Algorithm-1
+  rotation, ECMP's per-flow hash memo, flowlet gaps and per-packet
+  spraying all draw from the same RNG streams and produce the same
+  label sequences.
+* **Forwarding.**  Each pipe's path is found by walking the real
+  switch state — ``l2_table``, ECMP groups (including per-(flow, cell)
+  leaf hashing) and ``FailoverGroup.reroute`` with its hardware
+  latency — so shadow-MAC trees, backup paths and blackhole windows
+  behave exactly as a packet would see them.
+* **Fairness.**  Pipe weights are byte *fractions* of their transfer
+  (they sum to 1 per transfer), so a Presto elephant sprayed over four
+  trees competes at a shared access link as one flow, not four — the
+  invariant that keeps mice-vs-elephant FCT ordering truthful.
+
+What is approximated away: queueing delay, slow start, retransmission
+and reordering.  ``python -m repro.fluid compare`` quantifies the
+resulting divergence per metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fluid.allocator import max_min_allocation
+from repro.net.packet import DATA
+from repro.net.switch import Switch
+from repro.units import SEC
+
+#: residual bytes under which a bounded transfer counts as finished
+#: (floats only; delivered ints are forced exact at completion)
+_DONE_EPS = 1e-6
+
+#: cap on LB probe cells per slicing pass; transfers larger than
+#: ``cap * flowcell_bytes`` are sampled at coarser equal-size cells
+#: (label *shares* converge with ~hundreds of samples; exact per-cell
+#: boundaries only matter for small transfers, which stay exact)
+MAX_SLICE_CELLS = 512
+
+#: probe cells per label for unbounded (run-length) transfers
+UNBOUNDED_CELLS_PER_LABEL = 8
+
+
+class _Probe:
+    """Stand-in packet/segment fed to LB ``select()`` / packet labelers
+    and to switch ECMP groups during path walks.  Carries exactly the
+    attributes those code paths read or write."""
+
+    __slots__ = ("flow_id", "flowcell_id", "dst_mac", "src_host",
+                 "dst_host", "payload_len", "kind", "seq", "end_seq",
+                 "hops", "wire_size")
+
+    def __init__(self, flow_id: int, src_host: int, dst_host: int,
+                 payload_len: int):
+        self.flow_id = flow_id
+        self.flowcell_id = 0
+        self.dst_mac = 0
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.payload_len = payload_len
+        self.kind = DATA
+        self.seq = 0
+        self.end_seq = payload_len
+        self.hops = 0
+        self.wire_size = payload_len
+
+
+class _Pipe:
+    """One (wire flow, label, path) strand of a transfer's fluid."""
+
+    __slots__ = ("flow_id", "dst_mac", "flowcell_id", "frac", "path",
+                 "rate", "delivered")
+
+    def __init__(self, flow_id: int, dst_mac: int, flowcell_id: int,
+                 frac: float):
+        self.flow_id = flow_id
+        self.dst_mac = dst_mac          # label as originally selected
+        self.flowcell_id = flowcell_id  # representative cell (ECMP hash)
+        self.frac = frac                # byte fraction of the transfer
+        self.path: Optional[Tuple[str, ...]] = None  # port names, or None
+        self.rate = 0.0                 # bytes/ns, set by realloc
+        self.delivered = 0.0            # bytes carried by this pipe
+
+
+class FluidTransfer:
+    """A transfer modeled as fluid; speaks the ``Transfer`` protocol
+    (``flow_ids`` / ``delivered_by_flow`` / ``delivered_bytes`` /
+    ``fcts_ns``) so every collector works unchanged."""
+
+    def __init__(self, engine: "FluidEngine", src: int, dst: int, lb,
+                 wire_flow_ids: Sequence[int],
+                 size_bytes: Optional[int], start_ns: int,
+                 on_complete: Optional[Callable]):
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.lb = lb
+        self._flow_ids = tuple(wire_flow_ids)
+        self.size_bytes = size_bytes
+        self.start_ns = start_ns
+        self.on_complete = on_complete
+        self.pipes: List[_Pipe] = []
+        #: bytes drained from retired pipe generations, per wire flow
+        self._retired: Dict[int, float] = {}
+        self.remaining: Optional[float] = (
+            None if size_bytes is None else float(size_bytes))
+        self.done = False
+        self.fct_ns: Optional[int] = None
+        self._final_by_flow: Optional[Dict[int, int]] = None
+        self._completion_event = None
+
+    # --- Transfer protocol ------------------------------------------------
+
+    def flow_ids(self) -> Tuple[int, ...]:
+        return self._flow_ids
+
+    def delivered_by_flow(self) -> Dict[int, int]:
+        if self._final_by_flow is not None:
+            return dict(self._final_by_flow)
+        self.engine.sync()
+        out = {f: self._retired.get(f, 0.0) for f in self._flow_ids}
+        for pipe in self.pipes:
+            out[pipe.flow_id] = out.get(pipe.flow_id, 0.0) + pipe.delivered
+        return {f: int(v) for f, v in out.items()}
+
+    def delivered_bytes(self) -> int:
+        return sum(self.delivered_by_flow().values())
+
+    @property
+    def fcts_ns(self) -> Tuple[int, ...]:
+        return (self.fct_ns,) if self.fct_ns is not None else ()
+
+    # --- internals --------------------------------------------------------
+
+    def _total_rate(self) -> float:
+        total = 0.0
+        for pipe in self.pipes:
+            total += pipe.rate
+        return total
+
+    def _retire_pipes(self) -> None:
+        """Fold current pipes' delivered bytes into the retired ledger
+        (before re-slicing onto a new schedule)."""
+        for pipe in self.pipes:
+            self._retired[pipe.flow_id] = (
+                self._retired.get(pipe.flow_id, 0.0) + pipe.delivered)
+        self.pipes = []
+
+    def _finalize(self) -> None:
+        """Force integer delivered counts to sum exactly to the size:
+        floor each flow's float, then hand out the leftover bytes in
+        sorted flow-id order (deterministic)."""
+        assert self.size_bytes is not None
+        self._retire_pipes()
+        floors = {f: int(self._retired.get(f, 0.0)) for f in self._flow_ids}
+        deficit = self.size_bytes - sum(floors.values())
+        for flow_id in sorted(floors):
+            if deficit <= 0:
+                break
+            give = min(deficit, self.size_bytes - floors[flow_id])
+            floors[flow_id] += give
+            deficit -= give
+        self._final_by_flow = floors
+
+
+class FluidEngine:
+    """Event-driven fluid allocator over a built topology.
+
+    One engine per :class:`~repro.fluid.testbed.FluidTestbed`.  The
+    testbed opens transfers; the engine owns advancement, reallocation
+    and completion.  All port bookkeeping is keyed by *port name*
+    (strings), never Port objects, so every reduction in the allocator
+    sorts deterministically across processes.
+    """
+
+    def __init__(self, sim, topo, flowcell_bytes: int,
+                 failover_latency_ns: int = 0, validate: bool = False):
+        self.sim = sim
+        self.topo = topo
+        self.flowcell_bytes = int(flowcell_bytes)
+        self.failover_latency_ns = int(failover_latency_ns)
+        self.validate = validate
+        self.transfers: List[FluidTransfer] = []
+        self._active: List[FluidTransfer] = []
+        self._last_ns = 0
+        self._ports: Dict[str, object] = {}  # port name -> Port
+        self._leg_bytes: Dict[str, float] = {}
+        self._realloc_times: set = set()
+        self._reslice_pending = False
+        self._watching = False
+        #: counters surfaced via telemetry and the compare report
+        self.reallocs = 0
+        self.slices = 0
+        self.violations: List[str] = []
+
+    # --- wiring -----------------------------------------------------------
+
+    def watch_links(self) -> None:
+        """Subscribe to every link's state changes (call after all hosts
+        are attached).  A change reallocates immediately — dead pipes go
+        to zero — and again once the hardware failover latency elapses,
+        when :class:`FailoverGroup` starts rerouting."""
+        if self._watching:
+            return
+        self._watching = True
+        for link in self.topo.links:
+            link.on_state_change.append(self._on_link_change)
+
+    def _on_link_change(self, link) -> None:
+        self.request_realloc(0)
+        if self.failover_latency_ns > 0:
+            self.request_realloc(self.failover_latency_ns)
+
+    def schedules_changed(self) -> None:
+        """A controller pushed new LB schedules: re-slice every active
+        transfer's remaining bytes over the new labels at the next
+        reallocation."""
+        self._reslice_pending = True
+        self.request_realloc(0)
+
+    def request_realloc(self, delay_ns: int = 0) -> None:
+        """Schedule a reallocation ``delay_ns`` from now (coalesced per
+        target timestamp)."""
+        at = self.sim.now + delay_ns
+        if at in self._realloc_times:
+            return
+        self._realloc_times.add(at)
+        self.sim.schedule(delay_ns, self._run_realloc, at)
+
+    # --- transfers --------------------------------------------------------
+
+    def open_transfer(self, src: int, dst: int, lb,
+                      wire_flow_ids: Sequence[int],
+                      size_bytes: Optional[int] = None,
+                      start_ns: int = 0,
+                      on_complete: Optional[Callable] = None) -> FluidTransfer:
+        """Register a transfer; it becomes fluid at ``start_ns``."""
+        if size_bytes is not None and size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive: {size_bytes}")
+        transfer = FluidTransfer(self, src, dst, lb, wire_flow_ids,
+                                 size_bytes, start_ns, on_complete)
+        self.transfers.append(transfer)
+        self.sim.schedule(max(0, start_ns - self.sim.now),
+                          self._start_transfer, transfer)
+        return transfer
+
+    def _start_transfer(self, transfer: FluidTransfer) -> None:
+        transfer.start_ns = self.sim.now
+        self._slice_transfer(transfer)
+        self._active.append(transfer)
+        self.request_realloc(0)
+
+    # --- slicing (LB-driven) ----------------------------------------------
+
+    def _slice_transfer(self, transfer: FluidTransfer) -> None:
+        """Cut the transfer's (remaining) bytes into flowcells, push each
+        through the source host's real LB, resolve each cell's path, and
+        group cells into pipes by (wire flow, label, path)."""
+        self.slices += 1
+        transfer._retire_pipes()
+        total = (transfer.remaining if transfer.remaining is not None
+                 else None)
+        per_flow: List[Tuple[int, Optional[float]]] = [
+            (f, None if total is None else total / len(transfer._flow_ids))
+            for f in transfer._flow_ids]
+
+        cells: List[Tuple[int, int, int, float]] = []  # flow,mac,cell,bytes
+        for flow_id, budget in per_flow:
+            cells.extend(self._slice_flow(
+                transfer.lb, flow_id, transfer.src, transfer.dst, budget))
+
+        grand = 0.0
+        for value in sorted(c[3] for c in cells):
+            grand += value
+        if grand <= 0.0:
+            return
+        now = self.sim.now
+        pipes: Dict[Tuple[int, int, Optional[Tuple[str, ...]]], _Pipe] = {}
+        order: List[Tuple[int, int, Optional[Tuple[str, ...]]]] = []
+        for flow_id, dst_mac, cell_id, nbytes in cells:
+            path = self.resolve_path(transfer.src, transfer.dst,
+                                     flow_id, dst_mac, cell_id, now)
+            key = (flow_id, dst_mac, path)
+            pipe = pipes.get(key)
+            if pipe is None:
+                pipe = _Pipe(flow_id, dst_mac, cell_id, 0.0)
+                pipe.path = path
+                pipes[key] = pipe
+                order.append(key)
+            pipe.frac += nbytes / grand
+        transfer.pipes = [pipes[k] for k in order]
+
+    def _slice_flow(self, lb, flow_id: int, src: int, dst: int,
+                    budget: Optional[float]):
+        """Yield (flow_id, dst_mac, flowcell_id, bytes) cells for one
+        wire flow, drawing labels from the real LB object."""
+        cell = self.flowcell_bytes
+        if budget is None:
+            n_labels = max(1, len(lb.labels_for(dst)))
+            n_cells = n_labels * UNBOUNDED_CELLS_PER_LABEL
+            sizes = [float(cell)] * n_cells
+        else:
+            n_cells = max(1, int(math.ceil(budget / cell)))
+            if n_cells > MAX_SLICE_CELLS:
+                n_cells = MAX_SLICE_CELLS
+                sizes = [budget / n_cells] * n_cells
+            else:
+                sizes = [float(cell)] * (n_cells - 1)
+                sizes.append(budget - cell * (n_cells - 1))
+        labeler = lb.packet_labeler()
+        probe = _Probe(flow_id, src, dst, cell)
+        out = []
+        for nbytes in sizes:
+            probe.payload_len = int(nbytes) or 1
+            probe.end_seq = probe.seq + probe.payload_len
+            lb.select(probe)
+            if labeler is not None:
+                labeler(probe)
+            out.append((flow_id, probe.dst_mac, probe.flowcell_id,
+                        float(nbytes)))
+            probe.seq = probe.end_seq
+        return out
+
+    # --- forwarding (real switch state) -----------------------------------
+
+    def resolve_path(self, src: int, dst: int, flow_id: int, dst_mac: int,
+                     flowcell_id: int, now: int
+                     ) -> Optional[Tuple[str, ...]]:
+        """Walk the switch tables exactly as ``Switch.receive`` would
+        forward a packet carrying this label.  Returns the directional
+        port-name path host→…→host, or None if the packet would
+        blackhole (down link with no engaged backup, no route, or a
+        forwarding loop)."""
+        leaf_port = self.topo.host_port.get(src)
+        if leaf_port is None:
+            return None
+        egress = leaf_port.peer_port  # host -> leaf
+        if egress is None or not egress.link.up:
+            return None
+        probe = _Probe(flow_id, src, dst, self.flowcell_bytes)
+        probe.dst_mac = dst_mac
+        probe.flowcell_id = flowcell_id
+        legs = [egress.name]
+        node = self.topo.host_leaf.get(src)
+        hops = 0
+        while node is not None:
+            out = node.l2_table.get(probe.dst_mac)
+            if out is None:
+                group = node.ecmp_by_mac.get(probe.dst_mac)
+                if group is None:
+                    group = node.ecmp_default
+                if group is not None:
+                    out = group.select(probe)
+            if out is not None and not out.link.up and node.failover is not None:
+                # reroute() applies the backup's label rewrite in place,
+                # so the next hop resolves the relabeled probe
+                out = node.failover.reroute(out, now, probe)
+            if out is None or not out.link.up:
+                return None
+            legs.append(out.name)
+            self._ports.setdefault(out.name, out)
+            peer = out.peer
+            if not isinstance(peer, Switch):
+                if getattr(peer, "host_id", None) != dst:
+                    return None  # mislabeled: a packet would be ignored
+                self._ports.setdefault(egress.name, egress)
+                return tuple(legs)
+            node = peer
+            hops += 1
+            if hops > Switch.MAX_HOPS:
+                return None
+        return None
+
+    # --- advancement ------------------------------------------------------
+
+    def sync(self) -> None:
+        """Integrate delivered bytes up to the current sim time (rates
+        are piecewise constant, so this is exact)."""
+        self._advance(self.sim.now)
+
+    def _advance(self, now: int) -> None:
+        dt = now - self._last_ns
+        if dt <= 0:
+            return
+        leg_bytes = self._leg_bytes
+        for transfer in self._active:
+            total = transfer._total_rate()
+            if total <= 0.0:
+                continue
+            eff = float(dt)
+            if transfer.remaining is not None:
+                eff = min(eff, transfer.remaining / total)
+            if eff <= 0.0:
+                continue
+            for pipe in transfer.pipes:
+                if pipe.rate <= 0.0:
+                    continue
+                moved = pipe.rate * eff
+                pipe.delivered += moved
+                if pipe.path is not None:
+                    for leg in pipe.path:
+                        leg_bytes[leg] = leg_bytes.get(leg, 0.0) + moved
+            if transfer.remaining is not None:
+                transfer.remaining = max(0.0, transfer.remaining - total * eff)
+        self._last_ns = now
+
+    # --- reallocation -----------------------------------------------------
+
+    def _run_realloc(self, at: int) -> None:
+        self._realloc_times.discard(at)
+        self._realloc()
+
+    def _realloc(self) -> None:
+        now = self.sim.now
+        self._advance(now)
+        self._complete_drained(now)
+        if self._reslice_pending:
+            self._reslice_pending = False
+            for transfer in self._active:
+                self._slice_transfer(transfer)
+        else:
+            for transfer in self._active:
+                for pipe in transfer.pipes:
+                    pipe.path = self.resolve_path(
+                        transfer.src, transfer.dst, pipe.flow_id,
+                        pipe.dst_mac, pipe.flowcell_id, now)
+
+        entries = []   # allocator input
+        routed = []    # pipes aligned with entries
+        for transfer in self._active:
+            for pipe in transfer.pipes:
+                pipe.rate = 0.0
+                if pipe.path is not None and pipe.frac > 0.0:
+                    entries.append((pipe.path, pipe.frac, None))
+                    routed.append(pipe)
+        if entries:
+            capacity = {name: self._ports[name].link.rate_bps / (8.0 * SEC)
+                        for name in self._ports}
+            rates = max_min_allocation(entries, capacity)
+            for pipe, rate in zip(routed, rates):
+                pipe.rate = rate
+            if self.validate:
+                self._check_allocation(entries, rates, capacity)
+
+        for transfer in self._active:
+            self._schedule_completion(transfer, now)
+        self.reallocs += 1
+
+    def _check_allocation(self, entries, rates, capacity) -> None:
+        used: Dict[str, float] = {}
+        for (links, _w, _d), rate in zip(entries, rates):
+            for leg in links:
+                used[leg] = used.get(leg, 0.0) + rate
+        for leg in sorted(used):
+            cap = capacity[leg]
+            if used[leg] > cap * (1.0 + 1e-9) + 1e-15:
+                self.violations.append(
+                    f"t={self.sim.now}: allocation exceeds capacity on "
+                    f"{leg}: {used[leg]:.6g} > {cap:.6g} bytes/ns")
+
+    def _schedule_completion(self, transfer: FluidTransfer, now: int) -> None:
+        if transfer._completion_event is not None:
+            transfer._completion_event.cancel()
+            transfer._completion_event = None
+        if transfer.remaining is None:
+            return
+        total = transfer._total_rate()
+        if total <= 0.0:
+            return  # stalled (e.g. blackholed); a later realloc revives it
+        delay = int(math.ceil(transfer.remaining / total))
+        transfer._completion_event = self.sim.schedule(
+            max(1, delay), self._run_realloc, None)
+
+    def _complete_drained(self, now: int) -> None:
+        drained = [t for t in self._active
+                   if t.remaining is not None and t.remaining <= _DONE_EPS]
+        for transfer in drained:
+            self._active.remove(transfer)
+            transfer.done = True
+            transfer.remaining = 0.0
+            transfer.fct_ns = now - transfer.start_ns
+            if transfer._completion_event is not None:
+                transfer._completion_event.cancel()
+                transfer._completion_event = None
+            transfer._finalize()
+            if transfer.on_complete is not None:
+                transfer.on_complete(transfer)
+
+    # --- readouts ---------------------------------------------------------
+
+    def link_bytes(self) -> Dict[str, int]:
+        """Bytes carried per directional port (sorted by name), the
+        fluid counterpart of the packet engine's ``port.tx_bytes``."""
+        self.sync()
+        return {name: int(self._leg_bytes[name])
+                for name in sorted(self._leg_bytes)}
+
+    def path_latency_ns(self, path: Sequence[str], payload_bytes: int) -> int:
+        """One-way propagation + per-hop serialization along a resolved
+        path (no queueing — fluid RTT probes report the floor)."""
+        total = 0.0
+        for name in path:
+            link = self._ports[name].link
+            total += link.prop_delay_ns
+            total += payload_bytes * 8 * SEC / link.rate_bps
+        return int(total)

@@ -57,6 +57,14 @@ def results_payload(
         "platform": platform.platform(),
         "benches": benches,
     }
+    # Both engines simulate the identical Fig 7-9 cell, so the wall
+    # ratio is the fluid engine's speedup on the same simulated work.
+    packet = benches.get("scalability_8host")
+    fluid = benches.get("fluid_scalability")
+    if (packet and fluid and fluid["wall_s"] > 0
+            and packet["scale"] == fluid["scale"]):
+        payload["fluid_speedup_vs_packet"] = (
+            packet["wall_s"] / fluid["wall_s"])
     if baseline is not None:
         base_benches = baseline.get("benches", {})
         speedup = {}
@@ -105,6 +113,11 @@ def render_table(payload: Dict) -> str:
         table += (
             f"\n\nmacro events/sec vs baseline: "
             f"{payload['macro_speedup_min']:.2f}x (min across macros)"
+        )
+    if "fluid_speedup_vs_packet" in payload:
+        table += (
+            f"\nfluid vs packet wall time (same Fig 7-9 cell): "
+            f"{payload['fluid_speedup_vs_packet']:.1f}x faster"
         )
     return table
 

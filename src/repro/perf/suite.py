@@ -20,6 +20,9 @@ experiment slice end to end:
   cross-flowcell reordered arrival stream;
 * ``scalability_8host`` — the Fig 7-9 presto cell at 4 paths (8 hosts),
   warm + measure windows included;
+* ``fluid_scalability`` — the same cell on the fluid flow-level engine
+  (``fidelity="flow"``), pinning its speed advantage over the packet
+  engine;
 * ``soak_slice``      — one chaos-soak case (faults + failover + control
   plane) end to end.
 """
@@ -251,6 +254,35 @@ def bench_scalability_8host(scale: float = 1.0) -> Tuple[float, int]:
     return wall, tb.sim.events_executed
 
 
+# --- macro: fluid engine, same scalability cell ------------------------------
+
+
+def bench_fluid_scalability(scale: float = 1.0) -> Tuple[float, int]:
+    """The same Figs 7-9 presto cell as ``scalability_8host``, run on
+    the fluid flow-level engine (``fidelity="flow"``).  Work units are
+    simulator events fired — far fewer per simulated second than the
+    packet engine, which is the point: the committed baseline pins the
+    fluid engine's speed so a regression in its lazy advancement or
+    reallocation coalescing shows up as a wall-time jump."""
+    from repro.experiments.common import START_JITTER_NS
+    from repro.experiments.harness import Testbed
+    from repro.experiments.scalability import scalability_config
+
+    n_paths = 4
+    warm_ns = msec(5)
+    measure_ns = msec(max(1.0, 15.0 * scale))
+    tb = Testbed(scalability_config("presto", n_paths, seed=1,
+                                    fidelity="flow"))
+    rng = tb.streams.stream("starts")
+    for i in range(n_paths):
+        tb.add_elephant(i, n_paths + i, start_ns=rng.randrange(START_JITTER_NS))
+    tb.add_probe(0, n_paths, interval_ns=msec(1), start_ns=warm_ns // 2)
+    t0 = time.perf_counter()
+    tb.run(warm_ns + measure_ns)
+    wall = time.perf_counter() - t0
+    return wall, tb.sim.events_executed
+
+
 # --- macro: chaos-soak slice -------------------------------------------------
 
 
@@ -291,6 +323,7 @@ BENCHES: Dict[str, Tuple[str, BenchFn]] = {
     "tso_fanout": (MICRO, bench_tso_fanout),
     "gro_merge": (MICRO, bench_gro_merge),
     "scalability_8host": (MACRO, bench_scalability_8host),
+    "fluid_scalability": (MACRO, bench_fluid_scalability),
     "soak_slice": (MACRO, bench_soak_slice),
 }
 

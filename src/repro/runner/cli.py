@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seeds", default="1,2", help="comma-separated seeds")
     run.add_argument(
+        "--fidelity", choices=("packet", "flow"), default=None,
+        help="engine fidelity for every cell: 'packet' (default) queues "
+             "frames, 'flow' runs the fluid engine (repro.fluid)",
+    )
+    run.add_argument(
         "--warm-ms", type=float, default=15.0,
         help="warmup window before measurement, in simulated ms",
     )
@@ -212,6 +217,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         timeout_s=ns.timeout,
         log=log,
         telemetry=telemetry,
+        fidelity=ns.fidelity,
     )
     table = format_table(report.headers, report.rows)
     print(table)

@@ -68,6 +68,7 @@ def _run_scalability(
     timeout_s: Optional[float],
     log,
     telemetry=None,
+    fidelity=None,
 ) -> SweepReport:
     from repro.experiments.scalability import DEFAULT_SCHEMES, run_scalability
 
@@ -78,7 +79,7 @@ def _run_scalability(
         warm_ns=warm_ns,
         measure_ns=measure_ns,
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry,
+        telemetry=telemetry, fidelity=fidelity,
     )
     headers = ["scheme", "paths", "tput Gbps", "loss", "jain",
                "rtt p50 ms", "rtt p99 ms"]
@@ -98,6 +99,7 @@ def _run_oversub(
     timeout_s: Optional[float],
     log,
     telemetry=None,
+    fidelity=None,
 ) -> SweepReport:
     from repro.experiments.oversub import DEFAULT_SCHEMES, run_oversub
 
@@ -108,7 +110,7 @@ def _run_oversub(
         warm_ns=warm_ns,
         measure_ns=measure_ns,
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry,
+        telemetry=telemetry, fidelity=fidelity,
     )
     headers = ["scheme", "pairs", "tput Gbps", "loss", "jain",
                "rtt p50 ms", "rtt p99 ms"]
@@ -128,6 +130,7 @@ def _run_synthetic(
     timeout_s: Optional[float],
     log,
     telemetry=None,
+    fidelity=None,
 ) -> SweepReport:
     from repro.experiments.synthetic import (
         DEFAULT_SCHEMES,
@@ -142,7 +145,7 @@ def _run_synthetic(
         warm_ns=warm_ns,
         measure_ns=measure_ns,
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry,
+        telemetry=telemetry, fidelity=fidelity,
     )
     headers = ["scheme", "workload", "tput Gbps", "mice p50 ms", "mice p99 ms"]
     rows = []

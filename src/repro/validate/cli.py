@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="window scale factor (tests/smoke use e.g. 0.2)",
     )
     run.add_argument(
+        "--fidelity", choices=("packet", "flow"), default=None,
+        help="simulation fidelity: packet (default) or the fluid "
+             "flow-level engine (skips packet-only oracles with --all)",
+    )
+    run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (default: os.cpu_count(); 1 = in-process "
              "serial)",
@@ -123,7 +128,7 @@ def _report_rows(reports) -> List[List[object]]:
 
 def _cmd_run(ns: argparse.Namespace) -> int:
     from repro.experiments.harness import format_table
-    from repro.validate.oracles import oracle_names, run_oracles
+    from repro.validate.oracles import ORACLES, oracle_names, run_oracles
     from repro.validate.report import write_validation_json
 
     known = oracle_names()
@@ -134,6 +139,12 @@ def _cmd_run(ns: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         names = known
+        if ns.fidelity == "flow":
+            skipped = [n for n in names if ORACLES[n].packet_only]
+            names = tuple(n for n in names if not ORACLES[n].packet_only)
+            if skipped and not ns.quiet:
+                print(f"skipping packet-only oracle(s) at --fidelity flow: "
+                      f"{', '.join(skipped)}", file=sys.stderr)
     if not names:
         print(f"no oracles selected; name some or pass --all "
               f"(available: {', '.join(known)})", file=sys.stderr)
@@ -143,6 +154,12 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         print(f"unknown oracle(s) {', '.join(unknown)}; "
               f"pick from {', '.join(known)}", file=sys.stderr)
         return 2
+    if ns.fidelity == "flow":
+        packet_only = [n for n in names if ORACLES[n].packet_only]
+        if packet_only:
+            print(f"oracle(s) {', '.join(packet_only)} are packet-only "
+                  f"and cannot run at --fidelity flow", file=sys.stderr)
+            return 2
     if ns.jobs is not None and ns.jobs < 1:
         print(f"--jobs must be >= 1, got {ns.jobs}", file=sys.stderr)
         return 2
@@ -169,6 +186,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         names, seeds=seeds, scale=ns.scale,
         jobs=ns.jobs if ns.jobs is not None else 1,
         store=store, force=ns.force, timeout_s=ns.timeout, log=log,
+        fidelity=ns.fidelity,
     )
     print(format_table(["oracle", "check", "verdict", "observed"],
                        _report_rows(reports)))

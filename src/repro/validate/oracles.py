@@ -38,7 +38,7 @@ from repro.experiments.harness import Testbed, TestbedConfig
 from repro.experiments.synthetic import run_synthetic_seed
 from repro.metrics.reordering import ReorderTracker
 from repro.metrics.stats import mean
-from repro.runner import JobSpec, ResultStore, run_jobs
+from repro.runner import JobSpec, ResultStore, ref_of, run_jobs
 from repro.units import msec, usec
 from repro.validate.report import OracleReport
 
@@ -81,11 +81,12 @@ def _scaled_ns(base_ns: int, scale: float) -> int:
 # --- fct_ordering ------------------------------------------------------------
 
 
-def _fct_specs(seeds: Sequence[int], scale: float) -> List[JobSpec]:
+def _fct_specs(seeds: Sequence[int], scale: float,
+               fidelity: Optional[str] = None) -> List[JobSpec]:
     return [
         JobSpec.make(
             run_synthetic_seed,
-            cfg=TestbedConfig(scheme=scheme, seed=seed),
+            cfg=TestbedConfig(scheme=scheme, seed=seed, fidelity=fidelity),
             label=f"validate/fct/{scheme}/seed{seed}",
             workload="stride",
             warm_ns=_scaled_ns(FCT_WARM_NS, scale),
@@ -210,7 +211,12 @@ def run_reorder_cell(cfg: TestbedConfig,
     )
 
 
-def _reorder_specs(seeds: Sequence[int], scale: float) -> List[JobSpec]:
+def _reorder_specs(seeds: Sequence[int], scale: float,
+                   fidelity: Optional[str] = None) -> List[JobSpec]:
+    if fidelity == "flow":
+        raise ValueError(
+            "gro_reordering is packet-only: it taps per-segment GRO "
+            "delivery, which the fluid engine does not model")
     return [
         JobSpec.make(
             run_reorder_cell,
@@ -280,18 +286,30 @@ def _reorder_evaluate(seeds: Tuple[int, ...], scale: float,
 # --- failover ----------------------------------------------------------------
 
 
-def _failover_specs(seeds: Sequence[int], scale: float) -> List[JobSpec]:
-    return [
-        JobSpec.make(
-            run_failure_timeline,
-            label=f"validate/failover/seed{seed}",
+def _failover_specs(seeds: Sequence[int], scale: float,
+                    fidelity: Optional[str] = None) -> List[JobSpec]:
+    specs = []
+    for seed in seeds:
+        kwargs = dict(
             workload=FAILOVER_WORKLOAD,
             seed=seed,
             warm_ns=_scaled_ns(FAILOVER_WARM_NS, scale),
             measure_ns=_scaled_ns(FAILOVER_MEASURE_NS, scale),
         )
-        for seed in seeds
-    ]
+        # The explicit cfg joins the kwargs only when fidelity is set,
+        # so default runs keep their historical content hashes (cache
+        # keys in the ResultStore stay warm).  It rides in kwargs —
+        # never the JobSpec ``cfg`` slot, whose value is passed as the
+        # first positional argument (``workload`` here).
+        if fidelity is not None:
+            kwargs["cfg"] = TestbedConfig(
+                scheme="presto", seed=seed, fidelity=fidelity)
+        specs.append(JobSpec(
+            fn=ref_of(run_failure_timeline),
+            kwargs=kwargs,
+            label=f"validate/failover/seed{seed}",
+        ))
+    return specs
 
 
 def _failover_evaluate(seeds: Tuple[int, ...], scale: float,
@@ -357,8 +375,11 @@ class OracleDef:
     name: str
     figure: str
     description: str
-    build_specs: Callable[[Sequence[int], float], List[JobSpec]]
+    build_specs: Callable[..., List[JobSpec]]
     evaluate: Callable[[Tuple[int, ...], float, List[Any]], OracleReport]
+    #: oracles that tap packet-level machinery (GRO, segment order)
+    #: cannot run at fidelity="flow"
+    packet_only: bool = False
 
 
 ORACLES: Dict[str, OracleDef] = {
@@ -381,6 +402,7 @@ ORACLES: Dict[str, OracleDef] = {
                         "strictly above per-packet spraying",
             build_specs=_reorder_specs,
             evaluate=_reorder_evaluate,
+            packet_only=True,
         ),
         OracleDef(
             name="failover",
@@ -417,6 +439,7 @@ def run_oracles(
     force: bool = False,
     timeout_s: Optional[float] = None,
     log=None,
+    fidelity: Optional[str] = None,
 ) -> List[OracleReport]:
     """Run the named oracles (default: all) across ``seeds``.
 
@@ -424,14 +447,20 @@ def run_oracles(
     suite fans out over ``jobs`` workers and resumes from ``store``.
     A cell that errors does not kill the suite: its oracle reports a
     failed ``jobs_completed`` check carrying the error text.
+
+    ``fidelity="flow"`` runs the oracles on the fluid engine.  With the
+    default oracle set, packet-only oracles (``gro_reordering``) are
+    skipped; naming one explicitly at that fidelity raises.
     """
     if not seeds:
         raise ValueError("seeds must name at least one seed")
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     defs = [get_oracle(n) for n in (names or oracle_names())]
+    if names is None and fidelity == "flow":
+        defs = [od for od in defs if not od.packet_only]
     seeds = tuple(seeds)
-    batches = [(od, od.build_specs(seeds, scale)) for od in defs]
+    batches = [(od, od.build_specs(seeds, scale, fidelity)) for od in defs]
     outcomes = run_jobs(
         [spec for _, specs in batches for spec in specs],
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
