@@ -14,17 +14,59 @@ knob is exposed for longer runs (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import Testbed, TestbedConfig
 from repro.metrics.collectors import LossAccountant, ThroughputMeter
 from repro.metrics.stats import jain_fairness, mean, percentile
-from repro.telemetry import TelemetryConfig
+from repro.telemetry import TelemetryConfig, per_cell_telemetry
 from repro.units import KB, msec, usec
 
 DEFAULT_WARM_NS = msec(15)
 DEFAULT_MEASURE_NS = msec(30)
 START_JITTER_NS = usec(500)
+
+
+@dataclass
+class SweepOptions:
+    """The execution + passthrough options every ``run_*`` sweep shares
+    — one definition instead of the seven keyword arguments previously
+    copy-pasted across ``scalability.py`` / ``oversub.py`` /
+    ``synthetic.py`` (and now ``fabric_sweep.py``).
+
+    ``cell_kwargs`` centralizes the hash-preserving rule: per-cell
+    telemetry joins a JobSpec's kwargs **only when set**, so default
+    sweeps keep their historical content hashes and the result-store
+    cache stays warm.  ``fidelity`` (and ``topology``, for sweeps that
+    take one) ride inside each cell's *config*, where their defaults
+    normalize to the omitted-``None`` form for the same reason.
+    """
+
+    jobs: int = 1
+    store: Optional[object] = None  # ResultStore (untyped: import cycle)
+    force: bool = False
+    timeout_s: Optional[float] = None
+    log: Optional[Callable[[str], None]] = None
+    telemetry: Optional[TelemetryConfig] = None
+    fidelity: Optional[str] = None
+
+    def cell_kwargs(self, label: str) -> Dict[str, Any]:
+        """Kwargs to merge into one cell's JobSpec — empty when every
+        option is at its default, so spec hashes do not move."""
+        if self.telemetry is None:
+            return {}
+        return {"telemetry": per_cell_telemetry(self.telemetry, label)}
+
+    def execute(self, specs: Sequence[Any]) -> List[Any]:
+        """Fan the specs through the runner and return their results in
+        spec order."""
+        from repro.runner import collect_results, run_jobs
+
+        outcomes = run_jobs(
+            specs, jobs=self.jobs, store=self.store, force=self.force,
+            timeout_s=self.timeout_s, log=self.log,
+        )
+        return collect_results(outcomes)
 
 
 @dataclass

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.experiments.harness import Testbed, TestbedConfig
+from repro.net.fabrics import TopologySpec
 from repro.units import MB, msec, usec
 
 
@@ -55,8 +56,10 @@ def run_flowlet_sizes(
     seed: int = 0,
 ) -> FlowletSizeResult:
     """One bar of Fig 1 (paper: 1 GB scp; scaled default 64 MB)."""
-    cfg = TestbedConfig(scheme="optimal", n_leaves=1, hosts_per_leaf=competing + 2,
-                        seed=seed)
+    cfg = TestbedConfig(
+        scheme="optimal",
+        topology=TopologySpec.clos(4, 1, competing + 2),
+        seed=seed)
     tb = Testbed(cfg)
     events: List[Tuple[int, int]] = []
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Tuple
 
 from repro.experiments.harness import Testbed, TestbedConfig
 from repro.metrics.reordering import ReorderTracker
+from repro.net.fabrics import TopologySpec
 from repro.metrics.stats import mean
 from repro.units import SEC, msec
 from repro.workloads.synthetic import stride_pairs
@@ -51,8 +52,9 @@ def run_fig5(gro: str, duration_ns: int = msec(40), seed: int = 0) -> GroMicroRe
     reorder, and that oscillation is the phenomenon under test."""
     from dataclasses import replace
 
-    cfg = TestbedConfig(scheme="presto", n_spines=2, n_leaves=2,
-                        hosts_per_leaf=2, gro_override=gro, seed=seed)
+    cfg = TestbedConfig(scheme="presto",
+                        topology=TopologySpec.clos(2, 2, 2),
+                        gro_override=gro, seed=seed)
     cfg = replace(cfg, tcp=replace(cfg.tcp, rcv_wnd=1024 * 1024))
     tb = Testbed(cfg)
     trackers = []

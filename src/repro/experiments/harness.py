@@ -24,9 +24,9 @@ from repro.host.host import Host
 from repro.host.tcp import TcpConfig
 from repro.lb.base import LoadBalancer
 from repro.mptcp.mptcp import MptcpConnection
+from repro.net.fabrics import TopologySpec, build_fabric
 from repro.net.topology import (
     Topology,
-    build_clos,
     build_single_switch,
 )
 from repro.presto.controller import PrestoController
@@ -51,6 +51,10 @@ class TestbedConfig:
     __test__ = False  # not a pytest class, despite the name
 
     scheme: str = "presto"
+    #: deprecated alias trio for a 2-tier Clos shape; prefer
+    #: ``topology=TopologySpec...`` / ``topology="fat-tree:k=8"``.
+    #: Kept (and mirrored from ``topology`` in __post_init__) so legacy
+    #: readers and — critically — legacy store hashes stay bit-stable.
     n_spines: int = 4
     n_leaves: int = 4
     hosts_per_leaf: int = 4
@@ -116,6 +120,15 @@ class TestbedConfig:
     #: normalizes to None in __post_init__ for the same reason.
     fidelity: Optional[str] = field(
         default=None, metadata={"omit_if_none": True})
+    #: first-class fabric shape (repro.net.fabrics.TopologySpec, or its
+    #: CLI string form, e.g. "fat-tree:k=8").  Tri-state like
+    #: ``fidelity``: a 2-tier ``clos`` spec normalizes into the legacy
+    #: trio above and this field back to None, so every pre-spec config
+    #: hashes — and hits the result-store cache — bit-identically.
+    #: Multi-tier specs stay set and keep the trio mirrored for legacy
+    #: readers (rack size, host count).
+    topology: Optional[TopologySpec] = field(
+        default=None, metadata={"omit_if_none": True})
 
     def __post_init__(self) -> None:
         """Fail at construction, with actionable messages, instead of
@@ -125,6 +138,19 @@ class TestbedConfig:
                 f"unknown scheme {self.scheme!r}; pick from "
                 f"{scheme_names()} (or register it via "
                 f"repro.experiments.schemes.register)")
+        if self.topology is not None:
+            if isinstance(self.topology, str):
+                self.topology = TopologySpec.parse(self.topology)
+            self.topology.validate()
+            if self.topology.kind == "clos":
+                # a 2-tier spec IS the historic trio: normalize onto it
+                # and drop the spec so hashes match pre-spec configs
+                (self.n_spines, self.n_leaves,
+                 self.hosts_per_leaf) = self.topology.legacy_fields()
+                self.topology = None
+            else:
+                (self.n_spines, self.n_leaves,
+                 self.hosts_per_leaf) = self.topology.legacy_fields()
         if self.gro_override not in (None, "official", "presto"):
             raise ValueError(
                 f"gro_override must be None, 'official' or 'presto', "
@@ -166,6 +192,13 @@ class TestbedConfig:
             raise ValueError(
                 f"fidelity must be 'packet' or 'flow', "
                 f"got {self.fidelity!r}")
+
+    def topology_spec(self) -> TopologySpec:
+        """The fabric shape as a spec, whichever way it was given."""
+        if self.topology is not None:
+            return self.topology
+        return TopologySpec.clos(
+            self.n_spines, self.n_leaves, self.hosts_per_leaf)
 
     def with_scheme(self, scheme: str) -> "TestbedConfig":
         return replace(self, scheme=scheme)
@@ -241,10 +274,9 @@ class Testbed:
             sw.shared_buffer.total_bytes = cfg.switch_pool_bytes
             sw.shared_buffer.alpha = cfg.pool_alpha
             return topo
-        return build_clos(
+        return build_fabric(
             self.sim,
-            n_spines=cfg.n_spines,
-            n_leaves=cfg.n_leaves,
+            cfg.topology_spec(),
             rate_bps=cfg.link_rate_bps,
             prop_delay_ns=cfg.prop_delay_ns,
             buffer_bytes=cfg.switch_buffer_bytes,
@@ -253,7 +285,7 @@ class Testbed:
         )
 
     def _n_hosts(self) -> int:
-        return self.cfg.n_leaves * self.cfg.hosts_per_leaf
+        return self.cfg.topology_spec().n_hosts()
 
     def _make_lb(self, host_id: int) -> LoadBalancer:
         rng = self.streams.stream(f"lb{host_id}")
@@ -280,6 +312,7 @@ class Testbed:
 
     def _build_hosts(self) -> None:
         cfg = self.cfg
+        spec = cfg.topology_spec()
         for host_id in range(self._n_hosts()):
             host = Host(
                 self.sim,
@@ -293,7 +326,7 @@ class Testbed:
             if self.scheme_def.single_switch:
                 leaf = self.topo.leaves[0]
             else:
-                leaf = self.topo.leaves[host_id // cfg.hosts_per_leaf]
+                leaf = self.topo.leaves[spec.edge_of(host_id)]
             self.topo.attach_host(
                 host,
                 leaf,
@@ -310,10 +343,10 @@ class Testbed:
         return self.hosts[i]
 
     def pod_of(self, host_id: int) -> int:
-        """Leaf (pod) index a host logically belongs to.  The "optimal"
-        single switch keeps the same numbering so workload generators
-        stay scheme-agnostic."""
-        return host_id // self.cfg.hosts_per_leaf
+        """Rack (edge switch) index a host logically belongs to, for any
+        fabric shape.  The "optimal" single switch keeps the same
+        numbering so workload generators stay scheme-agnostic."""
+        return self.cfg.topology_spec().edge_of(host_id)
 
     @property
     def is_mptcp(self) -> bool:

@@ -19,12 +19,13 @@ from repro.experiments.common import (
     DEFAULT_MEASURE_NS,
     DEFAULT_WARM_NS,
     RunResult,
+    SweepOptions,
     run_elephant_workload,
 )
 from repro.experiments.harness import TestbedConfig
 from repro.metrics.stats import jain_fairness, mean
-from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
-from repro.telemetry import TelemetryConfig, per_cell_telemetry
+from repro.runner import JobSpec, ResultStore
+from repro.telemetry import TelemetryConfig
 
 DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
 
@@ -117,24 +118,25 @@ def oversub_specs(
 ) -> List[JobSpec]:
     """The full grid as runner jobs, ordered scheme > pair count > seed.
 
-    ``telemetry`` joins a job's kwargs only when set, so default sweeps
-    keep their historical content hashes (cache keys stay warm);
-    ``fidelity`` rides inside each cell's config."""
+    Per-cell telemetry joins a job's kwargs only when set (see
+    :meth:`SweepOptions.cell_kwargs`), so default sweeps keep their
+    historical content hashes (cache keys stay warm); ``fidelity``
+    rides inside each cell's config."""
+    opts = SweepOptions(telemetry=telemetry, fidelity=fidelity)
     specs = []
     for scheme in schemes:
         for n_pairs in pair_counts:
             for seed in seeds:
                 label = f"oversub/{scheme}/pairs{n_pairs}/seed{seed}"
-                kwargs = dict(
+                specs.append(JobSpec.make(
+                    run_oversub_seed,
                     cfg=oversub_config(scheme, n_pairs, seed, fidelity),
                     label=label,
                     warm_ns=warm_ns,
                     measure_ns=measure_ns,
                     with_probes=with_probes,
-                )
-                if telemetry is not None:
-                    kwargs["telemetry"] = per_cell_telemetry(telemetry, label)
-                specs.append(JobSpec.make(run_oversub_seed, **kwargs))
+                    **opts.cell_kwargs(label),
+                ))
     return specs
 
 
@@ -154,12 +156,12 @@ def run_oversub(
     fidelity: Optional[str] = None,
 ) -> Dict[str, List[OversubPoint]]:
     """The full Figs 10-12 grid, fanned out through the runner."""
+    opts = SweepOptions(jobs=jobs, store=store, force=force,
+                        timeout_s=timeout_s, log=log, telemetry=telemetry,
+                        fidelity=fidelity)
     specs = oversub_specs(schemes, pair_counts, seeds, warm_ns, measure_ns,
                           telemetry=telemetry, fidelity=fidelity)
-    outcomes = run_jobs(
-        specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
-    )
-    runs = collect_results(outcomes)
+    runs = opts.execute(specs)
     grid: Dict[str, List[OversubPoint]] = {}
     it = iter(runs)
     for scheme in schemes:

@@ -20,12 +20,13 @@ from repro.experiments.common import (
     DEFAULT_MEASURE_NS,
     DEFAULT_WARM_NS,
     RunResult,
+    SweepOptions,
     run_elephant_workload,
 )
 from repro.experiments.harness import TestbedConfig
 from repro.metrics.stats import jain_fairness, mean
-from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
-from repro.telemetry import TelemetryConfig, per_cell_telemetry
+from repro.runner import JobSpec, ResultStore
+from repro.telemetry import TelemetryConfig
 
 DEFAULT_SCHEMES = ("ecmp", "mptcp", "presto", "optimal")
 
@@ -116,25 +117,26 @@ def scalability_specs(
 ) -> List[JobSpec]:
     """The full grid as runner jobs, ordered scheme > path count > seed.
 
-    ``telemetry`` joins a job's kwargs only when set, so default sweeps
-    keep their historical content hashes (cache keys stay warm);
-    ``fidelity`` rides inside each cell's config (where "packet"
-    normalizes to the hash-preserving None)."""
+    Per-cell telemetry joins a job's kwargs only when set (see
+    :meth:`SweepOptions.cell_kwargs`), so default sweeps keep their
+    historical content hashes (cache keys stay warm); ``fidelity``
+    rides inside each cell's config (where "packet" normalizes to the
+    hash-preserving None)."""
+    opts = SweepOptions(telemetry=telemetry, fidelity=fidelity)
     specs = []
     for scheme in schemes:
         for n_paths in path_counts:
             for seed in seeds:
                 label = f"scalability/{scheme}/paths{n_paths}/seed{seed}"
-                kwargs = dict(
+                specs.append(JobSpec.make(
+                    run_scalability_seed,
                     cfg=scalability_config(scheme, n_paths, seed, fidelity),
                     label=label,
                     warm_ns=warm_ns,
                     measure_ns=measure_ns,
                     with_probes=with_probes,
-                )
-                if telemetry is not None:
-                    kwargs["telemetry"] = per_cell_telemetry(telemetry, label)
-                specs.append(JobSpec.make(run_scalability_seed, **kwargs))
+                    **opts.cell_kwargs(label),
+                ))
     return specs
 
 
@@ -159,14 +161,14 @@ def run_scalability(
     ``jobs=N`` runs the (scheme x path x seed) cells on N worker
     processes, and ``store`` makes the sweep resumable.
     """
+    opts = SweepOptions(jobs=jobs, store=store, force=force,
+                        timeout_s=timeout_s, log=log, telemetry=telemetry,
+                        fidelity=fidelity)
     specs = scalability_specs(
         schemes, path_counts, seeds, warm_ns, measure_ns,
         telemetry=telemetry, fidelity=fidelity,
     )
-    outcomes = run_jobs(
-        specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
-    )
-    runs = collect_results(outcomes)
+    runs = opts.execute(specs)
     grid: Dict[str, List[ScalabilityPoint]] = {}
     it = iter(runs)
     for scheme in schemes:

@@ -20,15 +20,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.common import (
     DEFAULT_MEASURE_NS,
     DEFAULT_WARM_NS,
+    SweepOptions,
     fct_percentiles,
     run_elephant_workload,
 )
 from repro.experiments.harness import Testbed, TestbedConfig
 
 from repro.metrics.stats import mean
-from repro.runner import JobSpec, ResultStore, collect_results, run_jobs
+from repro.runner import JobSpec, ResultStore
 from repro.sim.rand import RandomStreams
-from repro.telemetry import TelemetryConfig, per_cell_telemetry
+from repro.telemetry import TelemetryConfig
 from repro.units import KB, MB, SEC, msec
 from repro.workloads.synthetic import (
     random_bijection_pairs,
@@ -66,10 +67,17 @@ class SyntheticSeedRun:
         default=None, metadata={"omit_if_none": True})
 
 
+def _stride_for(n_hosts: int) -> int:
+    """The paper's stride(8) on the 16-host testbed; scaled-down
+    fabrics fall back to half the host count so the pattern still
+    crosses racks."""
+    return 8 if n_hosts > 8 else max(1, n_hosts // 2)
+
+
 def _pairs_for(workload: str, n_hosts: int, hosts_per_pod: int, seed: int):
     rng = RandomStreams(seed).stream(f"workload-{workload}")
     if workload == "stride":
-        return stride_pairs(n_hosts, 8)
+        return stride_pairs(n_hosts, _stride_for(n_hosts))
     if workload == "random":
         return random_pairs(n_hosts, hosts_per_pod, rng)
     if workload == "bijection":
@@ -99,7 +107,9 @@ def run_synthetic_seed(
             cfg, warm_ns, measure_ns, with_mice, mice_interval_ns,
             shuffle_transfer_bytes, telemetry=telemetry,
         )
-    pairs = _pairs_for(workload, 16, 4, cfg.seed)
+    spec = cfg.topology_spec()
+    pairs = _pairs_for(workload, spec.n_hosts(), spec.hosts_per_edge(),
+                       cfg.seed)
     mice_pairs = pairs[::4] if with_mice else []
     run = run_elephant_workload(
         cfg, pairs, warm_ns, measure_ns,
@@ -133,7 +143,8 @@ def _run_shuffle_seed(
     wl.start()
     mice_apps = []
     if with_mice:
-        for src, dst in stride_pairs(16, 8)[::4]:
+        n_hosts = cfg.topology_spec().n_hosts()
+        for src, dst in stride_pairs(n_hosts, _stride_for(n_hosts))[::4]:
             mice_apps.append(
                 tb.add_mice(src, dst, size_bytes=50 * KB,
                             interval_ns=mice_interval_ns,
@@ -202,17 +213,20 @@ def synthetic_specs(
 ) -> List[JobSpec]:
     """The full grid as runner jobs, ordered workload > scheme > seed.
 
-    ``telemetry`` joins a job's kwargs only when set, so default sweeps
-    keep their historical content hashes (cache keys stay warm);
-    ``fidelity`` rides inside each cell's config."""
+    Per-cell telemetry joins a job's kwargs only when set (see
+    :meth:`SweepOptions.cell_kwargs`), so default sweeps keep their
+    historical content hashes (cache keys stay warm); ``fidelity``
+    rides inside each cell's config."""
     for workload in workloads:
         _check_workload(workload)
+    opts = SweepOptions(telemetry=telemetry, fidelity=fidelity)
     specs = []
     for workload in workloads:
         for scheme in schemes:
             for seed in seeds:
                 label = f"synthetic/{workload}/{scheme}/seed{seed}"
-                kwargs = dict(
+                specs.append(JobSpec.make(
+                    run_synthetic_seed,
                     cfg=TestbedConfig(scheme=scheme, seed=seed,
                                       fidelity=fidelity),
                     label=label,
@@ -221,10 +235,8 @@ def synthetic_specs(
                     measure_ns=measure_ns,
                     with_mice=with_mice,
                     mice_interval_ns=mice_interval_ns,
-                )
-                if telemetry is not None:
-                    kwargs["telemetry"] = per_cell_telemetry(telemetry, label)
-                specs.append(JobSpec.make(run_synthetic_seed, **kwargs))
+                    **opts.cell_kwargs(label),
+                ))
     return specs
 
 
@@ -244,12 +256,12 @@ def run_figure15_16(
     fidelity: Optional[str] = None,
 ) -> Dict[Tuple[str, str], SyntheticResult]:
     """The full Figs 15/16 grid, fanned out through the runner."""
+    opts = SweepOptions(jobs=jobs, store=store, force=force,
+                        timeout_s=timeout_s, log=log, telemetry=telemetry,
+                        fidelity=fidelity)
     specs = synthetic_specs(schemes, workloads, seeds, warm_ns, measure_ns,
                             telemetry=telemetry, fidelity=fidelity)
-    outcomes = run_jobs(
-        specs, jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log
-    )
-    runs = collect_results(outcomes)
+    runs = opts.execute(specs)
     grid: Dict[Tuple[str, str], SyntheticResult] = {}
     it = iter(runs)
     for workload in workloads:

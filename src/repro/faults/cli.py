@@ -49,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="base seed all cases derive from")
     soak.add_argument("--max-faults", type=int, default=2,
                       help="max composite faults per schedule")
+    soak.add_argument("--topology", default=None, metavar="SPEC",
+                      help="fabric under chaos, e.g. 'fat-tree:k=4' "
+                           "(default: the paper's 16-host Clos)")
     soak.add_argument("--window-ms", type=float, default=40.0,
                       help="fault window (all faults restored inside it)")
     soak.add_argument("--deadline-ms", type=float, default=500.0,
@@ -95,6 +98,14 @@ def _cmd_soak(ns: argparse.Namespace) -> int:
     if ns.timeout is not None and ns.timeout <= 0:
         print(f"--timeout must be positive, got {ns.timeout}", file=sys.stderr)
         return 2
+    if ns.topology is not None:
+        from repro.net.fabrics import as_spec
+
+        try:
+            as_spec(ns.topology)
+        except ValueError as exc:
+            print(f"bad --topology: {exc}", file=sys.stderr)
+            return 2
     store = None if ns.no_store else ResultStore(ns.results_dir)
     log = None if ns.quiet else (lambda msg: print(msg, file=sys.stderr))
     report = run_soak(
@@ -103,6 +114,7 @@ def _cmd_soak(ns: argparse.Namespace) -> int:
         fault_window_ns=msec(ns.window_ms),
         deadline_ns=msec(ns.deadline_ms),
         max_faults=ns.max_faults,
+        topology=ns.topology,
         jobs=ns.jobs,
         store=store,
         force=ns.force,

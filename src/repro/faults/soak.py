@@ -8,10 +8,14 @@ decides pass/fail.  Cases are plain frozen dataclasses, so they ride
 through :mod:`repro.runner` (content-hashed caching, process pool,
 resume) like any experiment job — ``python -m repro.faults soak``.
 
-Random switch outages draw from the *spines* only: a dead leaf
+Random switch outages draw from the aggregation layers only (spines on
+a 2-tier Clos; aggs and cores on a fat-tree): a dead leaf/edge switch
 partitions its own hosts outright (nothing in the paper's design can
-route around the only edge switch), so leaf outages are for targeted
+route around the only edge switch), so those outages are for targeted
 tests, not background chaos.
+
+``--topology`` picks any :class:`~repro.net.fabrics.TopologySpec`
+fabric — the default remains the paper's 16-host Clos.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from repro.experiments.harness import Testbed, TestbedConfig
 from repro.faults.invariants import check_invariants
 from repro.faults.metrics import BlackholeAccountant
 from repro.faults.schedule import FaultSchedule, random_schedule
+from repro.net.fabrics import fabric_link_names
 from repro.runner.jobspec import JobSpec
 from repro.runner.pool import run_jobs
 from repro.runner.store import ResultStore
@@ -65,13 +70,14 @@ class SoakResult:
 
 
 def _fabric_names(cfg: TestbedConfig):
-    """Fabric link names + spine->links map for ``cfg``'s Clos, without
-    building it (build_clos names links ``{leaf}--{spine}``)."""
-    leaves = [f"L{i + 1}" for i in range(cfg.n_leaves)]
-    spines = [f"S{j + 1}" for j in range(cfg.n_spines)]
-    links = [f"{leaf}--{spine}" for leaf in leaves for spine in spines]
+    """Fabric link names + killable-switch->links map for ``cfg``'s
+    fabric, without building it.  Leaf/edge switches (``L*``/``E*``)
+    are excluded from outage targets: a dead edge switch partitions its
+    own hosts outright."""
+    links, by_switch = fabric_link_names(cfg.topology_spec())
     switch_links = {
-        spine: [f"{leaf}--{spine}" for leaf in leaves] for spine in spines
+        name: sw_links for name, sw_links in by_switch.items()
+        if not name.startswith(("L", "E"))
     }
     return links, switch_links
 
@@ -82,10 +88,12 @@ def random_case(
     fault_window_ns: int = DEFAULT_FAULT_WINDOW_NS,
     deadline_ns: int = DEFAULT_DEADLINE_NS,
     max_faults: int = 2,
+    topology: Optional[str] = None,
 ) -> SoakCase:
     """Deterministically derive case ``index`` of a soak at ``base_seed``."""
     rng = RandomStreams(base_seed).stream(f"soak-case-{index}")
-    cfg = TestbedConfig(scheme="presto", seed=rng.randrange(1, 2**31))
+    cfg = TestbedConfig(scheme="presto", seed=rng.randrange(1, 2**31),
+                        topology=topology)
     links, switch_links = _fabric_names(cfg)
     schedule = random_schedule(
         rng, links,
@@ -93,7 +101,8 @@ def random_case(
         switches=switch_links,
         max_faults=max_faults,
     )
-    n_hosts = cfg.n_leaves * cfg.hosts_per_leaf
+    spec = cfg.topology_spec()
+    n_hosts = spec.n_hosts()
     n_pairs = rng.randint(2, 4)
     srcs = rng.sample(range(n_hosts), n_pairs)
     pairs: List[Tuple[int, int]] = []
@@ -101,7 +110,7 @@ def random_case(
     for src in srcs:
         choices = [
             h for h in range(n_hosts)
-            if h // cfg.hosts_per_leaf != src // cfg.hosts_per_leaf
+            if spec.edge_of(h) != spec.edge_of(src)
             and h not in used_dst
         ]
         dst = rng.choice(choices)
@@ -191,6 +200,7 @@ def run_soak(
     fault_window_ns: int = DEFAULT_FAULT_WINDOW_NS,
     deadline_ns: int = DEFAULT_DEADLINE_NS,
     max_faults: int = 2,
+    topology: Optional[str] = None,
     jobs: Optional[int] = None,
     store: Optional[ResultStore] = None,
     force: bool = False,
@@ -200,7 +210,8 @@ def run_soak(
     """Sample ``n_cases`` random cases and run them through the runner."""
     cases = [
         random_case(base_seed, i, fault_window_ns=fault_window_ns,
-                    deadline_ns=deadline_ns, max_faults=max_faults)
+                    deadline_ns=deadline_ns, max_faults=max_faults,
+                    topology=topology)
         for i in range(n_cases)
     ]
     specs = [

@@ -217,12 +217,13 @@ class FluidTestbed(Testbed):
 
     def _build_hosts(self) -> None:
         cfg = self.cfg
+        spec = cfg.topology_spec()
         for host_id in range(self._n_hosts()):
             host = FluidHost(host_id, lb=self._make_lb(host_id))
             if self.scheme_def.single_switch:
                 leaf = self.topo.leaves[0]
             else:
-                leaf = self.topo.leaves[host_id // cfg.hosts_per_leaf]
+                leaf = self.topo.leaves[spec.edge_of(host_id)]
             self.topo.attach_host(
                 host,
                 leaf,
@@ -246,6 +247,11 @@ class FluidTestbed(Testbed):
                 engine.schedules_changed()
 
             host.lb.set_schedule = wrapped
+
+    def pod_of(self, host_id: int) -> int:
+        """Rack (edge switch) index a host logically belongs to, for any
+        fabric shape (mirrors :meth:`Testbed.pod_of`)."""
+        return self.cfg.topology_spec().edge_of(host_id)
 
     # --- traffic ----------------------------------------------------------
 

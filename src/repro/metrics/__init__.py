@@ -3,6 +3,7 @@
 from repro.metrics.stats import cdf_points, ewma, jain_fairness, mean, percentile
 from repro.metrics.collectors import LossAccountant, ThroughputMeter
 from repro.metrics.reordering import ReorderTracker
+from repro.metrics.streaming import P2Quantile, StreamingQuantiles, TopK
 
 __all__ = [
     "percentile",
@@ -13,4 +14,7 @@ __all__ = [
     "ThroughputMeter",
     "LossAccountant",
     "ReorderTracker",
+    "P2Quantile",
+    "StreamingQuantiles",
+    "TopK",
 ]

@@ -21,11 +21,22 @@ from repro.net.topology import (
     build_scalability,
     build_single_switch,
 )
+from repro.net.fabrics import (
+    TopologySpec,
+    build_fabric,
+    build_fat_tree,
+    build_leaf_spine,
+    fabric_link_names,
+)
 from repro.net.routing import (
     SpanningTree,
+    TopologyShapeError,
+    TreeValidationError,
     allocate_spanning_trees,
     enumerate_paths,
     install_tree_routes,
+    tree_legs,
+    validate_trees,
 )
 
 __all__ = [
@@ -49,8 +60,17 @@ __all__ = [
     "build_single_switch",
     "build_scalability",
     "build_oversub",
+    "TopologySpec",
+    "build_fabric",
+    "build_fat_tree",
+    "build_leaf_spine",
+    "fabric_link_names",
     "SpanningTree",
+    "TopologyShapeError",
+    "TreeValidationError",
     "allocate_spanning_trees",
     "enumerate_paths",
     "install_tree_routes",
+    "tree_legs",
+    "validate_trees",
 ]

@@ -17,6 +17,7 @@ the uplinks used by classic ECMP-on-real-MAC forwarding).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 from repro.net.addresses import host_mac
@@ -53,6 +54,14 @@ class Topology:
         self.host_port: Dict[int, Port] = {}  # leaf-side port toward the host
         self.spines: List[Switch] = []
         self.leaves: List[Switch] = []
+        #: third tier (k-ary fat tree): core switches; empty in 2-tier
+        #: fabrics.  In a fat tree ``leaves`` holds the edge switches
+        #: and ``spines`` the aggs, so 2-tier consumers keep working.
+        self.cores: List[Switch] = []
+        #: pod metadata, populated by build_fat_tree (pod-major)
+        self.pod_edges: List[List[Switch]] = []
+        self.pod_aggs: List[List[Switch]] = []
+        self.switch_pod: Dict[str, int] = {}
         self._salt_counter = 0
         # positive port_between() results; the controller re-resolves
         # spine legs for every schedule recomputation and the linear
@@ -137,6 +146,25 @@ class Topology:
         host.attach(to_leaf, self)
         return link
 
+    # --- shape ---------------------------------------------------------------
+
+    @property
+    def n_tiers(self) -> int:
+        """1 (single switch), 2 (leaf-spine/Clos) or 3 (fat tree)."""
+        if self.cores:
+            return 3
+        return 2 if self.spines else 1
+
+    def pod_of_switch(self, sw: Switch) -> int:
+        """Pod index of an edge/agg switch (3-tier fabrics only)."""
+        try:
+            return self.switch_pod[sw.name]
+        except KeyError:
+            raise ValueError(
+                f"switch {sw.name} has no pod assignment; only 3-tier "
+                f"fabrics built by repro.net.fabrics carry pod metadata"
+            ) from None
+
     # --- underlay routing ----------------------------------------------------
 
     def port_between(self, a: Switch, b: Switch) -> Optional[Port]:
@@ -166,7 +194,16 @@ class Topology:
 
     def install_underlay(self, leaf_hash_mode: str = HASH_FLOW) -> None:
         """Install real-MAC routing: exact entries where the path is forced
-        (spine -> leaf -> host) and ECMP over uplinks at the leaves."""
+        (downhill toward the host) and ECMP over uplinks elsewhere.
+
+        2-tier: spines get exact per-host down routes, leaves ECMP over
+        their spine uplinks.  3-tier (fat tree): aggs additionally get
+        exact down routes for their own pod's hosts plus ECMP over
+        their core uplinks, and every core gets an exact down route per
+        host (through the destination pod's agg it connects to)."""
+        if self.cores:
+            self._install_fat_tree_underlay(leaf_hash_mode)
+            return
         for host_id, leaf in self.host_leaf.items():
             mac = host_mac(host_id)
             for spine in self.spines:
@@ -177,6 +214,33 @@ class Topology:
             ups = self.uplinks(leaf)
             if ups:
                 leaf.ecmp_default = EcmpGroup(ups, salt=leaf.salt, mode=leaf_hash_mode)
+
+    def _install_fat_tree_underlay(self, leaf_hash_mode: str) -> None:
+        core_set = set(self.cores)
+        for host_id, edge in self.host_leaf.items():
+            mac = host_mac(host_id)
+            pod = self.switch_pod[edge.name]
+            for agg in self.pod_aggs[pod]:
+                down = self.port_between(agg, edge)
+                if down is not None:
+                    agg.install_route(mac, down)
+            for core in self.cores:
+                # each core reaches a pod through exactly one of its aggs
+                for agg in self.pod_aggs[pod]:
+                    down = self.port_between(core, agg)
+                    if down is not None:
+                        core.install_route(mac, down)
+                        break
+        for edge in self.leaves:
+            ups = self.uplinks(edge)
+            if ups:
+                edge.ecmp_default = EcmpGroup(
+                    ups, salt=edge.salt, mode=leaf_hash_mode)
+        for agg in self.spines:
+            ups = [p for p in agg.ports if p.peer in core_set]
+            if ups:
+                agg.ecmp_default = EcmpGroup(
+                    ups, salt=agg.salt, mode=leaf_hash_mode)
 
     # --- counters -------------------------------------------------------------
 
@@ -225,7 +289,16 @@ def build_scalability(
     buffer_bytes: Optional[int] = None,
 ) -> Topology:
     """Fig 4a: two leaves joined through ``n_paths`` spine switches, so
-    there are exactly ``n_paths`` disjoint L1->L2 paths."""
+    there are exactly ``n_paths`` disjoint L1->L2 paths.
+
+    .. deprecated:: PR 7
+        Build through the spec instead:
+        ``build_fabric(sim, TopologySpec.clos(n_paths, 2, ...))``.
+    """
+    warnings.warn(
+        "build_scalability is deprecated; use repro.net.fabrics."
+        "build_fabric(sim, TopologySpec.clos(n_paths, 2, hosts_per_leaf))",
+        DeprecationWarning, stacklevel=2)
     return build_clos(sim, n_spines=n_paths, n_leaves=2,
                       rate_bps=rate_bps, prop_delay_ns=prop_delay_ns,
                       buffer_bytes=buffer_bytes)
@@ -238,7 +311,16 @@ def build_oversub(
     buffer_bytes: Optional[int] = None,
 ) -> Topology:
     """Fig 4b: two leaves, two spines; attaching 2-8 host pairs yields
-    oversubscription ratios of 1-4x."""
+    oversubscription ratios of 1-4x.
+
+    .. deprecated:: PR 7
+        Build through the spec instead:
+        ``build_fabric(sim, TopologySpec.clos(2, 2, n_pairs))``.
+    """
+    warnings.warn(
+        "build_oversub is deprecated; use repro.net.fabrics."
+        "build_fabric(sim, TopologySpec.clos(2, 2, n_pairs))",
+        DeprecationWarning, stacklevel=2)
     return build_clos(sim, n_spines=2, n_leaves=2,
                       rate_bps=rate_bps, prop_delay_ns=prop_delay_ns,
                       buffer_bytes=buffer_bytes)

@@ -25,7 +25,12 @@ from repro.net.addresses import (
     shadow_mac_host,
 )
 from repro.net.link import Link
-from repro.net.routing import SpanningTree, allocate_spanning_trees, install_tree_routes
+from repro.net.routing import (
+    SpanningTree,
+    allocate_spanning_trees,
+    install_tree_routes,
+    tree_legs,
+)
 from repro.net.switch import Switch
 from repro.net.topology import Topology
 
@@ -42,29 +47,21 @@ class PrestoController:
     # --- schedule computation -------------------------------------------------
 
     def tree_usable(self, tree: SpanningTree, src_leaf: Switch, dst_leaf: Switch) -> bool:
-        """A tree works for a leaf pair iff both legs through its spine
-        are up."""
-        if src_leaf is dst_leaf:
-            return True
-        up_leg = self.topo.port_between(src_leaf, tree.spine)
-        down_leg = self.topo.port_between(tree.spine, dst_leaf)
-        return (
-            up_leg is not None
-            and down_leg is not None
-            and up_leg.up
-            and down_leg.up
-        )
+        """A tree works for a leaf pair iff every leg of its path —
+        2 through a spine (or intra-pod agg), 4 through a fat-tree
+        core — is up."""
+        legs = tree_legs(self.topo, tree, src_leaf, dst_leaf)
+        return legs is not None and all(leg.up for leg in legs)
 
     def tree_weight(self, tree: SpanningTree, src_leaf: Switch, dst_leaf: Switch) -> float:
-        """Usable capacity of a tree for a leaf pair: the min of the two
-        leg rates (0 when a leg is down) — the WCMP weighting input."""
-        if src_leaf is dst_leaf:
-            return 1.0
-        up_leg = self.topo.port_between(src_leaf, tree.spine)
-        down_leg = self.topo.port_between(tree.spine, dst_leaf)
-        if up_leg is None or down_leg is None or not up_leg.up or not down_leg.up:
+        """Usable capacity of a tree for a leaf pair: the min of its leg
+        rates (0 when any leg is down) — the WCMP weighting input."""
+        legs = tree_legs(self.topo, tree, src_leaf, dst_leaf)
+        if legs is None or not all(leg.up for leg in legs):
             return 0.0
-        return min(up_leg.link.rate_bps, down_leg.link.rate_bps)
+        if not legs:  # same edge switch
+            return 1.0
+        return min(leg.link.rate_bps for leg in legs)
 
     def schedule_for(self, src_host: int, dst_host: int) -> List[int]:
         """Ordered label list ``src_host`` should round-robin toward
@@ -117,6 +114,13 @@ class PrestoController:
           the next spine's tree and bounces it through a neighbouring
           leaf, which forwards it up the healthy spine (OpenFlow
           fast-failover bucket with a set-field action).
+        * Fat-tree aggs: each core uplink's backup is the next core
+          uplink (cyclic).  No rewrite is needed — every core carries
+          down routes for every label — so a labelled packet detours
+          through a sibling core inside the same uplink class.  Dead
+          *downlinks* (agg->edge, core->agg) are left to the
+          controller's weighted reschedule: the affected class's trees
+          lose the destination, and other classes take the weight.
         """
         for leaf in self.topo.leaves:
             ups = self.topo.uplinks(leaf)
@@ -125,6 +129,16 @@ class PrestoController:
             group = leaf.enable_failover(latency_ns)
             for i, port in enumerate(ups):
                 group.set_backup(port, ups[(i + 1) % len(ups)])
+        if self.topo.cores:
+            core_set = set(self.topo.cores)
+            for agg in self.topo.spines:
+                ups = [p for p in agg.ports if p.peer in core_set]
+                if len(ups) < 2:
+                    continue
+                group = agg.enable_failover(latency_ns)
+                for i, port in enumerate(ups):
+                    group.set_backup(port, ups[(i + 1) % len(ups)])
+            return
         if len(self.topo.spines) < 2 or len(self.topo.leaves) < 2:
             return
         next_tree = {

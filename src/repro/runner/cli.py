@@ -44,7 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the available sweeps")
 
     run = sub.add_parser("run", help="run one sweep through the job pool")
-    run.add_argument("sweep", help="sweep name (see `list`)")
+    run.add_argument(
+        "sweep", nargs="?", default=None,
+        help="sweep name (see `list`); defaults to 'fabric' when "
+             "--topology is given",
+    )
     run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (default: os.cpu_count(); 1 = in-process "
@@ -72,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", choices=("packet", "flow"), default=None,
         help="engine fidelity for every cell: 'packet' (default) queues "
              "frames, 'flow' runs the fluid engine (repro.fluid)",
+    )
+    run.add_argument(
+        "--topology", action="append", default=None, metavar="SPEC",
+        help="fabric spec, repeatable — e.g. 'fat-tree:k=8', "
+             "'leaf-spine:pods=8,oversub=2', "
+             "'clos:spines=4,leaves=4,hosts=4' (fabric sweep only; "
+             "implies `run fabric` when the sweep name is omitted)",
+    )
+    run.add_argument(
+        "--validate", action="store_true",
+        help="arm the spanning-tree oracle in every cell: trees must "
+             "reach every host and stay link-disjoint (fabric sweep only)",
     )
     run.add_argument(
         "--warm-ms", type=float, default=15.0,
@@ -164,11 +180,32 @@ def _cmd_run(ns: argparse.Namespace) -> int:
     from repro.runner.sweeps import SWEEPS
     from repro.units import msec
 
-    sweep = SWEEPS.get(ns.sweep)
+    sweep_name = ns.sweep
+    if sweep_name is None:
+        if not ns.topology:
+            print("a sweep name is required (or pass --topology to imply "
+                  f"'fabric'); available: {', '.join(SWEEPS)}",
+                  file=sys.stderr)
+            return 2
+        sweep_name = "fabric"
+    sweep = SWEEPS.get(sweep_name)
     if sweep is None:
-        print(f"unknown sweep {ns.sweep!r}; available: {', '.join(SWEEPS)}",
+        print(f"unknown sweep {sweep_name!r}; available: {', '.join(SWEEPS)}",
               file=sys.stderr)
         return 2
+    if (ns.topology or ns.validate) and not sweep.accepts_topology:
+        print(f"--topology/--validate only apply to sweeps over fabrics "
+              f"(e.g. 'fabric'), not {sweep_name!r}", file=sys.stderr)
+        return 2
+    if ns.topology:
+        from repro.net.fabrics import as_spec
+
+        try:
+            for spec in ns.topology:
+                as_spec(spec)
+        except ValueError as exc:
+            print(f"bad --topology: {exc}", file=sys.stderr)
+            return 2
     if ns.jobs is not None and ns.jobs < 1:
         print(f"--jobs must be >= 1, got {ns.jobs}", file=sys.stderr)
         return 2
@@ -205,6 +242,10 @@ def _cmd_run(ns: argparse.Namespace) -> int:
             trace_dir=os.path.join(store.root, "traces") if ns.trace else None,
         )
     log = None if ns.quiet else (lambda msg: print(msg, file=sys.stderr))
+    extra = {}
+    if sweep.accepts_topology:
+        extra = {"topologies": tuple(ns.topology or ()),
+                 "validate": ns.validate}
     report = sweep.run(
         schemes,
         points,
@@ -218,6 +259,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         log=log,
         telemetry=telemetry,
         fidelity=ns.fidelity,
+        **extra,
     )
     table = format_table(report.headers, report.rows)
     print(table)

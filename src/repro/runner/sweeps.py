@@ -31,6 +31,9 @@ class SweepDef:
     #: default sweep points when --points is not given
     default_points: Sequence[int]
     run: Callable[..., SweepReport]
+    #: True when the sweep understands --topology / --validate; the CLI
+    #: rejects those flags for sweeps that do not
+    accepts_topology: bool = False
 
 
 def _rtt_ms(rtts_ns: Sequence[int], pct: float) -> str:
@@ -160,6 +163,58 @@ def _run_synthetic(
     return SweepReport("synthetic", headers, rows, grid)
 
 
+def _run_fabric(
+    schemes: Sequence[str],
+    points: Sequence[int],  # unused: fabric sweeps topologies, not sizes
+    seeds: Sequence[int],
+    warm_ns: int,  # unused: trace cells measure from t=0 with a drain tail
+    measure_ns: int,
+    *,
+    jobs: int,
+    store: Optional[ResultStore],
+    force: bool,
+    timeout_s: Optional[float],
+    log,
+    telemetry=None,
+    fidelity=None,
+    topologies: Sequence[str] = (),
+    validate: bool = False,
+) -> SweepReport:
+    from repro.experiments.fabric_sweep import (
+        DEFAULT_SCHEMES,
+        DEFAULT_TOPOLOGIES,
+        DEFAULT_WORKLOADS,
+        run_fabric_sweep,
+    )
+
+    grid = run_fabric_sweep(
+        topologies=topologies or DEFAULT_TOPOLOGIES,
+        workloads=DEFAULT_WORKLOADS,
+        schemes=schemes or DEFAULT_SCHEMES,
+        seeds=seeds,
+        duration_ns=measure_ns,
+        validate=validate,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+        telemetry=telemetry,
+        fidelity=fidelity if fidelity is not None else "flow",
+    )
+    headers = ["topology", "workload", "scheme", "flows",
+               "fct p50 ms", "fct p99 ms", "fct p99.9 ms"]
+    rows = []
+    for (topology, workload, scheme), cells in grid.items():
+        total = sum(c.flows_completed for c in cells)
+        # report the worst seed's percentiles: tail metrics average badly
+        tail = max(cells, key=lambda c: c.fct_summary.get("p99") or 0.0)
+
+        def _ms(key):
+            v = tail.fct_summary.get(key)
+            return f"{v / 1e6:.2f}" if v is not None else "nan"
+
+        rows.append([topology, workload, scheme, total,
+                     _ms("p50"), _ms("p99"), _ms("p99.9")])
+    return SweepReport("fabric", headers, rows, grid)
+
+
 SWEEPS = {
     "scalability": SweepDef(
         name="scalability",
@@ -181,5 +236,14 @@ SWEEPS = {
                     "+ mice FCTs on the 16-host Clos",
         default_points=(),
         run=_run_synthetic,
+    ),
+    "fabric": SweepDef(
+        name="fabric",
+        description="Datacenter-scale: websearch/datamining traces + incast "
+                    "over fat-tree/leaf-spine fabrics (--topology; flow "
+                    "fidelity by default)",
+        default_points=(),
+        run=_run_fabric,
+        accepts_topology=True,
     ),
 }

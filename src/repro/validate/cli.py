@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
              "flow-level engine (skips packet-only oracles with --all)",
     )
     run.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="fabric for topology-agnostic oracles, e.g. 'fat-tree:k=4' "
+             "(skips fabric-pinned oracles with --all)",
+    )
+    run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (default: os.cpu_count(); 1 = in-process "
              "serial)",
@@ -145,6 +150,12 @@ def _cmd_run(ns: argparse.Namespace) -> int:
             if skipped and not ns.quiet:
                 print(f"skipping packet-only oracle(s) at --fidelity flow: "
                       f"{', '.join(skipped)}", file=sys.stderr)
+        if ns.topology is not None:
+            skipped = [n for n in names if ORACLES[n].fixed_topology]
+            names = tuple(n for n in names if not ORACLES[n].fixed_topology)
+            if skipped and not ns.quiet:
+                print(f"skipping fabric-pinned oracle(s) with --topology: "
+                      f"{', '.join(skipped)}", file=sys.stderr)
     if not names:
         print(f"no oracles selected; name some or pass --all "
               f"(available: {', '.join(known)})", file=sys.stderr)
@@ -159,6 +170,19 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         if packet_only:
             print(f"oracle(s) {', '.join(packet_only)} are packet-only "
                   f"and cannot run at --fidelity flow", file=sys.stderr)
+            return 2
+    if ns.topology is not None:
+        from repro.net.fabrics import as_spec
+
+        try:
+            as_spec(ns.topology)
+        except ValueError as exc:
+            print(f"bad --topology: {exc}", file=sys.stderr)
+            return 2
+        pinned = [n for n in names if ORACLES[n].fixed_topology]
+        if pinned:
+            print(f"oracle(s) {', '.join(pinned)} are pinned to a paper "
+                  f"fabric and ignore --topology", file=sys.stderr)
             return 2
     if ns.jobs is not None and ns.jobs < 1:
         print(f"--jobs must be >= 1, got {ns.jobs}", file=sys.stderr)
@@ -186,7 +210,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         names, seeds=seeds, scale=ns.scale,
         jobs=ns.jobs if ns.jobs is not None else 1,
         store=store, force=ns.force, timeout_s=ns.timeout, log=log,
-        fidelity=ns.fidelity,
+        fidelity=ns.fidelity, topology=ns.topology,
     )
     print(format_table(["oracle", "check", "verdict", "observed"],
                        _report_rows(reports)))

@@ -82,11 +82,16 @@ def _scaled_ns(base_ns: int, scale: float) -> int:
 
 
 def _fct_specs(seeds: Sequence[int], scale: float,
-               fidelity: Optional[str] = None) -> List[JobSpec]:
+               fidelity: Optional[str] = None,
+               topology: Optional[str] = None) -> List[JobSpec]:
+    # topology rides inside each cell's config, where the default (and
+    # any 2-tier clos spec) normalizes to the hash-preserving None —
+    # historic stride cells keep their cache keys.
     return [
         JobSpec.make(
             run_synthetic_seed,
-            cfg=TestbedConfig(scheme=scheme, seed=seed, fidelity=fidelity),
+            cfg=TestbedConfig(scheme=scheme, seed=seed, fidelity=fidelity,
+                              topology=topology),
             label=f"validate/fct/{scheme}/seed{seed}",
             workload="stride",
             warm_ns=_scaled_ns(FCT_WARM_NS, scale),
@@ -212,11 +217,16 @@ def run_reorder_cell(cfg: TestbedConfig,
 
 
 def _reorder_specs(seeds: Sequence[int], scale: float,
-                   fidelity: Optional[str] = None) -> List[JobSpec]:
+                   fidelity: Optional[str] = None,
+                   topology: Optional[str] = None) -> List[JobSpec]:
     if fidelity == "flow":
         raise ValueError(
             "gro_reordering is packet-only: it taps per-segment GRO "
             "delivery, which the fluid engine does not model")
+    if topology is not None:
+        raise ValueError(
+            "gro_reordering pins the Fig 4b two-path fabric; "
+            "--topology does not apply")
     return [
         JobSpec.make(
             run_reorder_cell,
@@ -287,7 +297,12 @@ def _reorder_evaluate(seeds: Tuple[int, ...], scale: float,
 
 
 def _failover_specs(seeds: Sequence[int], scale: float,
-                    fidelity: Optional[str] = None) -> List[JobSpec]:
+                    fidelity: Optional[str] = None,
+                    topology: Optional[str] = None) -> List[JobSpec]:
+    if topology is not None:
+        raise ValueError(
+            "failover replays the paper's L1->L4 timeline on the "
+            "16-host Clos; --topology does not apply")
     specs = []
     for seed in seeds:
         kwargs = dict(
@@ -380,6 +395,10 @@ class OracleDef:
     #: oracles that tap packet-level machinery (GRO, segment order)
     #: cannot run at fidelity="flow"
     packet_only: bool = False
+    #: oracles pinned to a specific paper fabric ignore --topology;
+    #: with --all + --topology they are skipped, named explicitly they
+    #: raise
+    fixed_topology: bool = False
 
 
 ORACLES: Dict[str, OracleDef] = {
@@ -403,6 +422,7 @@ ORACLES: Dict[str, OracleDef] = {
             build_specs=_reorder_specs,
             evaluate=_reorder_evaluate,
             packet_only=True,
+            fixed_topology=True,
         ),
         OracleDef(
             name="failover",
@@ -412,6 +432,7 @@ ORACLES: Dict[str, OracleDef] = {
                         f">= {REBALANCE_MIN_FRACTION}x pre-fault",
             build_specs=_failover_specs,
             evaluate=_failover_evaluate,
+            fixed_topology=True,
         ),
     )
 }
@@ -440,6 +461,7 @@ def run_oracles(
     timeout_s: Optional[float] = None,
     log=None,
     fidelity: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> List[OracleReport]:
     """Run the named oracles (default: all) across ``seeds``.
 
@@ -451,6 +473,11 @@ def run_oracles(
     ``fidelity="flow"`` runs the oracles on the fluid engine.  With the
     default oracle set, packet-only oracles (``gro_reordering``) are
     skipped; naming one explicitly at that fidelity raises.
+
+    ``topology`` reruns the topology-agnostic oracles (``fct_ordering``)
+    on another fabric, e.g. ``"fat-tree:k=4"``.  Oracles pinned to a
+    paper fabric are skipped under the default set and raise when named
+    explicitly.
     """
     if not seeds:
         raise ValueError("seeds must name at least one seed")
@@ -459,8 +486,11 @@ def run_oracles(
     defs = [get_oracle(n) for n in (names or oracle_names())]
     if names is None and fidelity == "flow":
         defs = [od for od in defs if not od.packet_only]
+    if names is None and topology is not None:
+        defs = [od for od in defs if not od.fixed_topology]
     seeds = tuple(seeds)
-    batches = [(od, od.build_specs(seeds, scale, fidelity)) for od in defs]
+    batches = [(od, od.build_specs(seeds, scale, fidelity, topology))
+               for od in defs]
     outcomes = run_jobs(
         [spec for _, specs in batches for spec in specs],
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,

@@ -8,8 +8,13 @@ from repro.workloads.synthetic import (
     stride_pairs,
 )
 from repro.workloads.tracedriven import (
+    DATAMINING_FLOW_SIZES,
     KANDULA_FLOW_SIZES,
+    TRACE_PROFILES,
+    WEBSEARCH_FLOW_SIZES,
+    IncastWorkload,
     TraceWorkload,
+    trace_profile,
 )
 from repro.workloads.northsouth import NorthSouthWorkload
 
@@ -20,6 +25,11 @@ __all__ = [
     "random_bijection_pairs",
     "shuffle_workload",
     "KANDULA_FLOW_SIZES",
+    "WEBSEARCH_FLOW_SIZES",
+    "DATAMINING_FLOW_SIZES",
+    "TRACE_PROFILES",
+    "trace_profile",
     "TraceWorkload",
+    "IncastWorkload",
     "NorthSouthWorkload",
 ]

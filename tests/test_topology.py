@@ -32,14 +32,16 @@ def test_clos_shape():
 
 def test_scalability_topology_paths():
     sim = Simulator()
-    topo = build_scalability(sim, n_paths=6)
+    with pytest.warns(DeprecationWarning, match="build_fabric"):
+        topo = build_scalability(sim, n_paths=6)
     assert len(topo.spines) == 6
     assert len(topo.leaves) == 2
 
 
 def test_oversub_topology():
     sim = Simulator()
-    topo = build_oversub(sim)
+    with pytest.warns(DeprecationWarning, match="build_fabric"):
+        topo = build_oversub(sim)
     assert len(topo.spines) == 2
     assert len(topo.leaves) == 2
 
