@@ -46,9 +46,12 @@ class SweepOptions:
     store: Optional[object] = None  # ResultStore (untyped: import cycle)
     force: bool = False
     timeout_s: Optional[float] = None
+    retries: int = 1
     log: Optional[Callable[[str], None]] = None
     telemetry: Optional[TelemetryConfig] = None
     fidelity: Optional[str] = None
+    #: sweep-coordinator base URL (repro.service); None = run locally
+    service: Optional[str] = None
 
     def cell_kwargs(self, label: str) -> Dict[str, Any]:
         """Kwargs to merge into one cell's JobSpec — empty when every
@@ -64,7 +67,8 @@ class SweepOptions:
 
         outcomes = run_jobs(
             specs, jobs=self.jobs, store=self.store, force=self.force,
-            timeout_s=self.timeout_s, log=self.log,
+            timeout_s=self.timeout_s, retries=self.retries, log=self.log,
+            service=self.service,
         )
         return collect_results(outcomes)
 

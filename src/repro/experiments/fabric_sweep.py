@@ -203,16 +203,19 @@ def run_fabric_sweep(
     store: Optional[ResultStore] = None,
     force: bool = False,
     timeout_s: Optional[float] = None,
+    retries: int = 1,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
     fidelity: Optional[str] = "flow",
+    service: Optional[str] = None,
 ) -> Dict[Tuple[str, str, str], List[FabricCellResult]]:
     """The full fabric grid, fanned out through the runner.  Keys are
     (topology CLI string, workload, scheme); values are the per-seed
     cell results."""
     opts = SweepOptions(jobs=jobs, store=store, force=force,
-                        timeout_s=timeout_s, log=log, telemetry=telemetry,
-                        fidelity=fidelity)
+                        timeout_s=timeout_s, retries=retries, log=log,
+                        telemetry=telemetry, fidelity=fidelity,
+                        service=service)
     specs = fabric_specs(topologies, workloads, schemes, seeds, duration_ns,
                          load_scale, validate, telemetry=telemetry,
                          fidelity=fidelity)

@@ -151,14 +151,17 @@ def run_oversub(
     store: Optional[ResultStore] = None,
     force: bool = False,
     timeout_s: Optional[float] = None,
+    retries: int = 1,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
     fidelity: Optional[str] = None,
+    service: Optional[str] = None,
 ) -> Dict[str, List[OversubPoint]]:
     """The full Figs 10-12 grid, fanned out through the runner."""
     opts = SweepOptions(jobs=jobs, store=store, force=force,
-                        timeout_s=timeout_s, log=log, telemetry=telemetry,
-                        fidelity=fidelity)
+                        timeout_s=timeout_s, retries=retries, log=log,
+                        telemetry=telemetry, fidelity=fidelity,
+                        service=service)
     specs = oversub_specs(schemes, pair_counts, seeds, warm_ns, measure_ns,
                           telemetry=telemetry, fidelity=fidelity)
     runs = opts.execute(specs)

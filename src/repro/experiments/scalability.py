@@ -151,9 +151,11 @@ def run_scalability(
     store: Optional[ResultStore] = None,
     force: bool = False,
     timeout_s: Optional[float] = None,
+    retries: int = 1,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
     fidelity: Optional[str] = None,
+    service: Optional[str] = None,
 ) -> Dict[str, List[ScalabilityPoint]]:
     """The full Figs 7-9 grid, fanned out through the runner.
 
@@ -162,8 +164,9 @@ def run_scalability(
     processes, and ``store`` makes the sweep resumable.
     """
     opts = SweepOptions(jobs=jobs, store=store, force=force,
-                        timeout_s=timeout_s, log=log, telemetry=telemetry,
-                        fidelity=fidelity)
+                        timeout_s=timeout_s, retries=retries, log=log,
+                        telemetry=telemetry, fidelity=fidelity,
+                        service=service)
     specs = scalability_specs(
         schemes, path_counts, seeds, warm_ns, measure_ns,
         telemetry=telemetry, fidelity=fidelity,

@@ -251,14 +251,17 @@ def run_figure15_16(
     store: Optional[ResultStore] = None,
     force: bool = False,
     timeout_s: Optional[float] = None,
+    retries: int = 1,
     log=None,
     telemetry: Optional[TelemetryConfig] = None,
     fidelity: Optional[str] = None,
+    service: Optional[str] = None,
 ) -> Dict[Tuple[str, str], SyntheticResult]:
     """The full Figs 15/16 grid, fanned out through the runner."""
     opts = SweepOptions(jobs=jobs, store=store, force=force,
-                        timeout_s=timeout_s, log=log, telemetry=telemetry,
-                        fidelity=fidelity)
+                        timeout_s=timeout_s, retries=retries, log=log,
+                        telemetry=telemetry, fidelity=fidelity,
+                        service=service)
     specs = synthetic_specs(schemes, workloads, seeds, warm_ns, measure_ns,
                             telemetry=telemetry, fidelity=fidelity)
     runs = opts.execute(specs)

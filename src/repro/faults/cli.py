@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore cached case results and re-run")
     soak.add_argument("--no-store", action="store_true",
                       help="skip the result store entirely")
+    soak.add_argument("--service", default=None, metavar="URL",
+                      help="run the soak cases on a sweep coordinator "
+                           "(python -m repro.service coordinator) instead "
+                           "of a local pool")
     soak.add_argument(
         "--results-dir", default=None, metavar="DIR",
         help=f"results root (default: ${RESULTS_DIR_ENV} or "
@@ -120,6 +124,7 @@ def _cmd_soak(ns: argparse.Namespace) -> int:
         force=ns.force,
         timeout_s=ns.timeout,
         log=log,
+        service=ns.service,
     )
     headers = ["case", "schedule", "verdict", "flows", "faults",
                "reactions", "violations"]

@@ -206,6 +206,7 @@ def run_soak(
     force: bool = False,
     timeout_s: Optional[float] = None,
     log=None,
+    service: Optional[str] = None,
 ) -> SoakReport:
     """Sample ``n_cases`` random cases and run them through the runner."""
     cases = [
@@ -220,7 +221,7 @@ def run_soak(
         for i, case in enumerate(cases)
     ]
     outcomes = run_jobs(specs, jobs=jobs, store=store, force=force,
-                        timeout_s=timeout_s, log=log)
+                        timeout_s=timeout_s, log=log, service=service)
     results = [o.result if o.ok else None for o in outcomes]
     errors = [o.error if not o.ok else None for o in outcomes]
     return SoakReport(base_seed=base_seed, cases=cases,

@@ -5,7 +5,9 @@ Commands::
     python -m repro.runner list
     python -m repro.runner run scalability --jobs 4
     python -m repro.runner run oversub --points 2,4 --seeds 1,2 --force
+    python -m repro.runner run fabric --service http://127.0.0.1:8642
     python -m repro.runner summary
+    python -m repro.runner store gc
 
 ``run`` writes the rendered table to ``<results-dir>/runner_<sweep>.txt``
 and a machine-readable ``runner_<sweep>.json``; per-job results land in
@@ -62,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-job wall-clock timeout; a hung job is killed, retried "
              "once, then reported failed",
+    )
+    run.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="how many times a job that raises (or times out) is re-run "
+             "before it reports failed (default: 1; see EXPERIMENTS.md "
+             "'Retries, restarts and backoff')",
+    )
+    run.add_argument(
+        "--service", default=None, metavar="URL",
+        help="run the sweep's jobs on a sweep coordinator "
+             "(python -m repro.service coordinator) instead of a local "
+             "pool, e.g. http://127.0.0.1:8642",
     )
     run.add_argument(
         "--schemes", default=None,
@@ -121,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="show what the result store already holds"
     )
     summary.add_argument("--results-dir", default=None, metavar="DIR")
+
+    store = sub.add_parser(
+        "store", help="result-store maintenance (currently: gc)"
+    )
+    store.add_argument(
+        "action", choices=("gc",),
+        help="gc: remove orphaned *.tmp files left by killed writers "
+             "and structurally-corrupt records",
+    )
+    store.add_argument("--results-dir", default=None, metavar="DIR")
 
     perf = sub.add_parser(
         "perf",
@@ -212,6 +236,9 @@ def _cmd_run(ns: argparse.Namespace) -> int:
     if ns.timeout is not None and ns.timeout <= 0:
         print(f"--timeout must be positive, got {ns.timeout}", file=sys.stderr)
         return 2
+    if ns.retries < 0:
+        print(f"--retries must be >= 0, got {ns.retries}", file=sys.stderr)
+        return 2
     try:
         points = _csv_ints(ns.points) or tuple(sweep.default_points)
         seeds = _csv_ints(ns.seeds)
@@ -256,9 +283,11 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         store=store,
         force=ns.force,
         timeout_s=ns.timeout,
+        retries=ns.retries,
         log=log,
         telemetry=telemetry,
         fidelity=ns.fidelity,
+        service=ns.service,
         **extra,
     )
     table = format_table(report.headers, report.rows)
@@ -372,6 +401,16 @@ def _cmd_perf(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(ns: argparse.Namespace) -> int:
+    store = ResultStore(ns.results_dir)
+    stats = store.gc()
+    print(f"store gc at {store.store_dir}: "
+          f"removed {stats['tmp_removed']} orphaned tmp file(s) and "
+          f"{stats['corrupt_removed']} corrupt record(s); "
+          f"{stats['kept']} record(s) kept")
+    return 0
+
+
 def _cmd_summary(ns: argparse.Namespace) -> int:
     from repro.experiments.harness import format_table
 
@@ -408,6 +447,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(ns)
     if ns.command == "summary":
         return _cmd_summary(ns)
+    if ns.command == "store":
+        return _cmd_store(ns)
     if ns.command == "perf":
         return _cmd_perf(ns)
     parser.error(f"unknown command {ns.command!r}")

@@ -16,7 +16,17 @@ Failure handling: a job whose worker raises is retried up to
 torn down (hung workers are killed), surviving in-flight jobs are
 requeued without charging their retry budget, and a fresh executor is
 spawned after an exponential backoff.  A job that exhausts its budget
-is reported as failed in its outcome — it never kills the sweep.
+is reported as failed in its outcome — it never kills the sweep.  The
+queue/budget bookkeeping lives in :class:`repro.runner.lease.LeaseQueue`,
+shared with the distributed coordinator (:mod:`repro.service`); the
+full retry/restart/backoff contract is documented in EXPERIMENTS.md
+("Retries, restarts and backoff").
+
+``run_jobs(..., service="http://host:port")`` hands the non-cached
+jobs to a sweep coordinator instead of a local pool: specs are
+submitted over HTTP, executed by remote workers through the same
+``_execute_payload`` path, and the outcomes (and local store records)
+are indistinguishable from a local run.
 
 Results always round-trip through the JSON encoding
 (:mod:`repro.runner.serialize`) — in the serial path too — so cached,
@@ -28,13 +38,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.jobspec import JobSpec
+from repro.runner.lease import Lease, LeaseQueue
 from repro.runner.serialize import from_jsonable, to_jsonable
 from repro.runner.store import ResultStore
 
@@ -90,6 +100,7 @@ def run_jobs(
     store: Optional[ResultStore] = None,
     force: bool = False,
     log: Logger = None,
+    service: Optional[str] = None,
 ) -> List[JobOutcome]:
     """Run ``specs``; returns one :class:`JobOutcome` per spec, in order.
 
@@ -97,6 +108,11 @@ def run_jobs(
     hashes are loaded instead of re-run (``force=True`` invalidates and
     re-runs).  Failures are contained: inspect ``outcome.status``, or
     use :func:`collect_results` to raise on any failure.
+
+    ``service`` is a coordinator base URL (``http://host:port``): the
+    non-cached jobs run on that coordinator's workers instead of a
+    local pool (``jobs``/``timeout_s`` then govern the coordinator's
+    side, not this process).
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -140,6 +156,15 @@ def run_jobs(
         )
 
     if todo:
+        if service is not None:
+            # Local import: repro.service imports repro.runner.
+            from repro.service.client import run_via_service
+
+            run_via_service(
+                todo, service, retries=retries, force=force,
+                store=store, finish=_finish, log=_log,
+            )
+            return [outcomes[i] for i in range(total)]
         use_pool = jobs > 1 and _fork_available()
         if jobs > 1 and not use_pool:
             _log("fork start method unavailable; degrading to serial execution")
@@ -211,14 +236,6 @@ def _run_serial(
 # --- process pool ------------------------------------------------------------
 
 
-@dataclass
-class _InFlight:
-    index: int
-    spec: JobSpec
-    attempts: int  # attempts *including* this one
-    started: float = field(default_factory=time.monotonic)
-
-
 def _kill_executor(executor: ProcessPoolExecutor) -> None:
     """Tear an executor down even if its workers are hung."""
     processes = list((getattr(executor, "_processes", None) or {}).values())
@@ -247,77 +264,89 @@ def _run_pool(
     def new_executor() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
 
-    #: (index, spec, attempts-so-far) queue; appendleft = requeue
-    pending: deque = deque((i, spec, 0) for i, spec in todo)
+    queue = LeaseQueue(retries=retries)
+    for index, spec in todo:
+        queue.add(index, spec)
     executor = new_executor()
-    in_flight: Dict[Any, _InFlight] = {}
+    in_flight: Dict[Any, Lease] = {}  # future -> lease
     restarts = 0
 
-    def fail_or_retry(job: _InFlight, err: str) -> None:
-        if job.attempts <= retries:
-            log(f"retrying {job.spec.display} "
-                f"(attempt {job.attempts + 1}/{retries + 1}): {err}")
-            pending.append((job.index, job.spec, job.attempts))
-        else:
-            finish(job.index, JobOutcome(
-                spec=job.spec, status=STATUS_FAILED, error=err,
-                attempts=job.attempts,
-                elapsed_s=time.monotonic() - job.started,
-            ))
+    def finish_failed(lease: Lease, err: str) -> None:
+        finish(lease.index, JobOutcome(
+            spec=lease.spec, status=STATUS_FAILED, error=err,
+            attempts=lease.attempts,
+            elapsed_s=time.monotonic() - lease.started,
+        ))
+
+    def fail_or_retry(lease: Lease, err: str) -> None:
+        status, _ = queue.fail(lease.lease_id)
+        if status == "retry":
+            log(f"retrying {lease.spec.display} "
+                f"(attempt {lease.attempts + 1}/{retries + 1}): {err}")
+        elif status == "failed":
+            finish_failed(lease, err)
 
     try:
-        while pending or in_flight:
-            while pending and len(in_flight) < jobs:
-                index, spec, attempts = pending.popleft()
-                future = executor.submit(_execute_payload, to_jsonable(spec))
-                in_flight[future] = _InFlight(index, spec, attempts + 1)
+        while not queue.idle:
+            while queue.pending and len(in_flight) < jobs:
+                lease = queue.claim(ttl_s=timeout_s)
+                future = executor.submit(
+                    _execute_payload, to_jsonable(lease.spec))
+                in_flight[future] = lease
 
             now = time.monotonic()
             poll: Optional[float] = None
             if timeout_s is not None and in_flight:
-                nearest = min(j.started + timeout_s for j in in_flight.values())
+                nearest = min(l.deadline for l in in_flight.values())
                 poll = max(_MIN_POLL_S, nearest - now)
             done, _ = wait(set(in_flight), timeout=poll,
                            return_when=FIRST_COMPLETED)
 
             broken = False
             for future in done:
-                job = in_flight.pop(future)
+                lease = in_flight.pop(future)
                 try:
                     payload = future.result()
                 except BrokenProcessPool:
                     broken = True
-                    fail_or_retry(job, "worker process died")
+                    fail_or_retry(lease, "worker process died")
                     continue
                 except Exception as exc:  # noqa: BLE001 — contained per job
-                    fail_or_retry(job, f"{type(exc).__name__}: {exc}")
+                    fail_or_retry(lease, f"{type(exc).__name__}: {exc}")
                     continue
-                elapsed = time.monotonic() - job.started
+                queue.complete(lease.lease_id)
+                elapsed = time.monotonic() - lease.started
                 if store is not None:
-                    store.save(job.spec, payload, elapsed, job.attempts)
-                finish(job.index, JobOutcome(
-                    spec=job.spec, status=STATUS_OK,
+                    store.save(lease.spec, payload, elapsed, lease.attempts)
+                finish(lease.index, JobOutcome(
+                    spec=lease.spec, status=STATUS_OK,
                     result=from_jsonable(payload),
-                    attempts=job.attempts, elapsed_s=elapsed,
+                    attempts=lease.attempts, elapsed_s=elapsed,
                 ))
 
             if timeout_s is not None:
-                now = time.monotonic()
-                for future, job in list(in_flight.items()):
-                    if now - job.started > timeout_s:
-                        # the worker is wedged: only a pool restart can
-                        # reclaim it
-                        broken = True
-                        del in_flight[future]
-                        fail_or_retry(
-                            job, f"timed out after {timeout_s:.1f}s")
+                # a wedged worker holds its process hostage: only a
+                # pool restart can reclaim it, and the timed-out job
+                # itself is charged (it may be the reason it hangs)
+                expired = {l.lease_id for l in queue.expired()}
+                if expired:
+                    broken = True
+                    for future, lease in list(in_flight.items()):
+                        if lease.lease_id in expired:
+                            del in_flight[future]
+                            fail_or_retry(
+                                lease, f"timed out after {timeout_s:.1f}s")
 
             if broken:
                 # Requeue the innocent bystanders at the front, without
                 # charging their retry budget, then restart on fresh
                 # (reseeded) workers after a backoff.
-                for job in in_flight.values():
-                    pending.appendleft((job.index, job.spec, job.attempts - 1))
+                for status, lease in queue.release_all():
+                    if status == "failed":
+                        finish_failed(
+                            lease,
+                            f"requeued {queue.max_releases} times by pool "
+                            "restarts without completing")
                 in_flight.clear()
                 _kill_executor(executor)
                 delay = min(_BACKOFF_CAP_S, _BACKOFF_BASE_S * (2 ** restarts))

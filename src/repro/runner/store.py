@@ -36,6 +36,13 @@ class ResultStore:
     def path_for(self, spec: JobSpec) -> str:
         return os.path.join(self.store_dir, f"{spec.hash}.json")
 
+    @staticmethod
+    def _structurally_ok(record: Any) -> bool:
+        """The one corruption check every read path applies: a record
+        must be a dict that kept its ``result`` (a truncated write or
+        hand-edit that lost it is treated as absent everywhere)."""
+        return isinstance(record, dict) and "result" in record
+
     def load_record(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
         """The stored record for ``spec``, or None on miss/corruption.
 
@@ -48,7 +55,7 @@ class ResultStore:
                 record = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return None
-        if not isinstance(record, dict) or "result" not in record:
+        if not self._structurally_ok(record):
             return None
         return record
 
@@ -91,7 +98,12 @@ class ResultStore:
             return False
 
     def records(self) -> Iterator[Dict[str, Any]]:
-        """All readable records, ordered by filename (= hash)."""
+        """All readable records, ordered by filename (= hash).
+
+        Applies the same structural-corruption check as
+        :meth:`load_record`: a record that parses but lost its
+        ``result`` is skipped, not yielded half-formed.
+        """
         if not os.path.isdir(self.store_dir):
             return
         for name in sorted(os.listdir(self.store_dir)):
@@ -99,9 +111,49 @@ class ResultStore:
                 continue
             try:
                 with open(os.path.join(self.store_dir, name)) as fh:
-                    yield json.load(fh)
+                    record = json.load(fh)
             except (OSError, json.JSONDecodeError):
                 continue
+            if self._structurally_ok(record):
+                yield record
+
+    def gc(self) -> Dict[str, int]:
+        """Remove debris a SIGKILLed or buggy writer can leave behind.
+
+        Deletes orphaned ``*.tmp`` files (a writer died between
+        ``mkstemp`` and ``os.replace``) and ``*.json`` records that are
+        unparsable or structurally corrupt (they are cache misses
+        anyway — dropping them just makes that visible).  Returns
+        ``{"tmp_removed": n, "corrupt_removed": n, "kept": n}``.
+        """
+        stats = {"tmp_removed": 0, "corrupt_removed": 0, "kept": 0}
+        if not os.path.isdir(self.store_dir):
+            return stats
+        for name in sorted(os.listdir(self.store_dir)):
+            path = os.path.join(self.store_dir, name)
+            if name.endswith(".tmp"):
+                os.unlink(path)
+                stats["tmp_removed"] += 1
+                continue
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(path) as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                record = None
+            if self._structurally_ok(record):
+                stats["kept"] += 1
+            else:
+                os.unlink(path)
+                stats["corrupt_removed"] += 1
+        return stats
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.records())
+        """Record-file count — O(directory), no parsing.  May include
+        structurally-corrupt files :meth:`records` would skip; run
+        :meth:`gc` to reconcile."""
+        if not os.path.isdir(self.store_dir):
+            return 0
+        return sum(1 for name in os.listdir(self.store_dir)
+                   if name.endswith(".json"))

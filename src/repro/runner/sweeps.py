@@ -69,9 +69,11 @@ def _run_scalability(
     store: Optional[ResultStore],
     force: bool,
     timeout_s: Optional[float],
-    log,
+    retries: int = 1,
+    log=None,
     telemetry=None,
     fidelity=None,
+    service: Optional[str] = None,
 ) -> SweepReport:
     from repro.experiments.scalability import DEFAULT_SCHEMES, run_scalability
 
@@ -81,8 +83,9 @@ def _run_scalability(
         seeds=seeds,
         warm_ns=warm_ns,
         measure_ns=measure_ns,
-        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry, fidelity=fidelity,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s,
+        retries=retries, log=log,
+        telemetry=telemetry, fidelity=fidelity, service=service,
     )
     headers = ["scheme", "paths", "tput Gbps", "loss", "jain",
                "rtt p50 ms", "rtt p99 ms"]
@@ -100,9 +103,11 @@ def _run_oversub(
     store: Optional[ResultStore],
     force: bool,
     timeout_s: Optional[float],
-    log,
+    retries: int = 1,
+    log=None,
     telemetry=None,
     fidelity=None,
+    service: Optional[str] = None,
 ) -> SweepReport:
     from repro.experiments.oversub import DEFAULT_SCHEMES, run_oversub
 
@@ -112,8 +117,9 @@ def _run_oversub(
         seeds=seeds,
         warm_ns=warm_ns,
         measure_ns=measure_ns,
-        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry, fidelity=fidelity,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s,
+        retries=retries, log=log,
+        telemetry=telemetry, fidelity=fidelity, service=service,
     )
     headers = ["scheme", "pairs", "tput Gbps", "loss", "jain",
                "rtt p50 ms", "rtt p99 ms"]
@@ -131,9 +137,11 @@ def _run_synthetic(
     store: Optional[ResultStore],
     force: bool,
     timeout_s: Optional[float],
-    log,
+    retries: int = 1,
+    log=None,
     telemetry=None,
     fidelity=None,
+    service: Optional[str] = None,
 ) -> SweepReport:
     from repro.experiments.synthetic import (
         DEFAULT_SCHEMES,
@@ -147,8 +155,9 @@ def _run_synthetic(
         seeds=seeds,
         warm_ns=warm_ns,
         measure_ns=measure_ns,
-        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry, fidelity=fidelity,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s,
+        retries=retries, log=log,
+        telemetry=telemetry, fidelity=fidelity, service=service,
     )
     headers = ["scheme", "workload", "tput Gbps", "mice p50 ms", "mice p99 ms"]
     rows = []
@@ -174,9 +183,11 @@ def _run_fabric(
     store: Optional[ResultStore],
     force: bool,
     timeout_s: Optional[float],
-    log,
+    retries: int = 1,
+    log=None,
     telemetry=None,
     fidelity=None,
+    service: Optional[str] = None,
     topologies: Sequence[str] = (),
     validate: bool = False,
 ) -> SweepReport:
@@ -194,8 +205,9 @@ def _run_fabric(
         seeds=seeds,
         duration_ns=measure_ns,
         validate=validate,
-        jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
-        telemetry=telemetry,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s,
+        retries=retries, log=log,
+        telemetry=telemetry, service=service,
         fidelity=fidelity if fidelity is not None else "flow",
     )
     headers = ["topology", "workload", "scheme", "flows",

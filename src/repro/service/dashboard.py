@@ -1,0 +1,223 @@
+"""The coordinator's live dashboard: one self-contained HTML page.
+
+Served at ``/`` by :mod:`repro.service.coordinator`; it polls
+``/api/progress`` every second and renders stat tiles (done/total,
+queue depth, live workers, store hit rate), a single-series completion
+timeline (10 s buckets over the last 10 minutes), the worker table and
+a capped job table.  No external assets — inline CSS/JS only, so the
+page works on an air-gapped testbed.
+
+Colors follow the validated reference palette: series-1 blue for the
+single timeline series (no legend needed — the title names it), the
+fixed status palette for job states, and every status color is paired
+with its status *word*, never color alone.  Light and dark are both
+explicit themes keyed off ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro sweep coordinator</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --page: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --border: rgba(11, 11, 11, 0.10);
+    --series-1: #2a78d6;
+    --status-good: #0ca30c;
+    --status-critical: #d03b3b;
+    --status-warning: #fab219;
+    --state-cached: #1baf7a;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --muted: #898781;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --border: rgba(255, 255, 255, 0.10);
+      --series-1: #3987e5;
+      --state-cached: #199e70;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px;
+    background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+  .sub { color: var(--text-secondary); margin: 0 0 20px; }
+  .tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(160px, 1fr));
+           gap: 12px; margin-bottom: 20px; }
+  .tile { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 14px 16px; }
+  .tile .label { color: var(--text-secondary); font-size: 12px; }
+  .tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+  .tile .note { color: var(--muted); font-size: 12px; margin-top: 2px; }
+  .card { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 14px 16px; margin-bottom: 20px; }
+  .card h2 { font-size: 13px; font-weight: 600; margin: 0 0 10px;
+             color: var(--text-secondary); }
+  svg { display: block; width: 100%; }
+  table { width: 100%; border-collapse: collapse; }
+  th { text-align: left; color: var(--muted); font-size: 12px;
+       font-weight: 500; padding: 4px 10px 6px 0;
+       border-bottom: 1px solid var(--grid); }
+  td { padding: 5px 10px 5px 0; border-bottom: 1px solid var(--grid);
+       font-variant-numeric: tabular-nums; }
+  td.label-cell { font-variant-numeric: normal;
+                  max-width: 420px; overflow: hidden;
+                  text-overflow: ellipsis; white-space: nowrap; }
+  .dot { display: inline-block; width: 8px; height: 8px;
+         border-radius: 50%; margin-right: 6px; vertical-align: baseline; }
+  .st-queued  .dot { background: var(--muted); }
+  .st-running .dot { background: var(--series-1); }
+  .st-done    .dot { background: var(--status-good); }
+  .st-cached  .dot { background: var(--state-cached); }
+  .st-failed  .dot { background: var(--status-critical); }
+  .st-failed  { color: var(--status-critical); }
+  .dead { color: var(--status-critical); }
+  .err { color: var(--muted); font-size: 12px; }
+  #offline { display: none; color: var(--status-critical);
+             margin-bottom: 16px; }
+</style>
+</head>
+<body>
+<h1>repro sweep coordinator</h1>
+<p class="sub" id="meta">connecting&hellip;</p>
+<p id="offline">&#9888; coordinator unreachable &mdash; retrying</p>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Finished</div>
+    <div class="value" id="t-done">&ndash;</div>
+    <div class="note" id="t-done-note"></div></div>
+  <div class="tile"><div class="label">Queue depth</div>
+    <div class="value" id="t-queue">&ndash;</div>
+    <div class="note" id="t-queue-note"></div></div>
+  <div class="tile"><div class="label">Workers alive</div>
+    <div class="value" id="t-workers">&ndash;</div>
+    <div class="note" id="t-workers-note"></div></div>
+  <div class="tile"><div class="label">Store hit rate</div>
+    <div class="value" id="t-hits">&ndash;</div>
+    <div class="note" id="t-hits-note"></div></div>
+</div>
+
+<div class="card">
+  <h2>Completions per 10 s (last 10 min)</h2>
+  <svg id="chart" viewBox="0 0 600 80" height="80"
+       role="img" aria-label="completion timeline"></svg>
+</div>
+
+<div class="card">
+  <h2>Workers</h2>
+  <table><thead><tr><th>name</th><th>status</th><th>last seen</th>
+    <th>done</th><th>failed</th><th>current job</th></tr></thead>
+    <tbody id="workers"></tbody></table>
+</div>
+
+<div class="card">
+  <h2>Jobs</h2>
+  <table><thead><tr><th>status</th><th>label</th><th>worker</th>
+    <th>attempts</th><th>elapsed</th></tr></thead>
+    <tbody id="jobs"></tbody></table>
+</div>
+
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const esc = (s) => String(s == null ? "" : s)
+  .replace(/&/g, "&amp;").replace(/</g, "&lt;").replace(/>/g, "&gt;");
+
+function statusCell(st) {
+  return '<span class="st-' + esc(st) + '"><span class="dot"></span>' +
+         esc(st) + '</span>';
+}
+
+function drawChart(tp) {
+  const svg = $("chart");
+  const buckets = tp.buckets || [];
+  const W = 600, H = 80, pad = 2;
+  const n = buckets.length || 1;
+  const max = Math.max(1, ...buckets);
+  const bw = (W - pad * 2) / n;
+  let parts = ['<line x1="0" y1="' + (H - 1) + '" x2="' + W +
+    '" y2="' + (H - 1) +
+    '" stroke="var(--baseline)" stroke-width="1"/>'];
+  buckets.forEach((v, i) => {
+    if (!v) return;
+    const h = Math.max(3, (H - 10) * v / max);
+    parts.push('<rect x="' + (pad + i * bw + 0.5).toFixed(1) +
+      '" y="' + (H - 1 - h).toFixed(1) +
+      '" width="' + Math.max(1, bw - 1).toFixed(1) +
+      '" height="' + h.toFixed(1) +
+      '" rx="1.5" fill="var(--series-1)"><title>' + v +
+      ' completed</title></rect>');
+  });
+  svg.innerHTML = parts.join("");
+}
+
+function render(p) {
+  $("offline").style.display = "none";
+  $("meta").textContent = "up " + Math.round(p.uptime_s) + "s \\u00b7 " +
+    "lease TTL " + p.lease_ttl_s + "s \\u00b7 retries " + p.retries +
+    " \\u00b7 " + p.total + " job(s) submitted";
+  $("t-done").textContent = p.finished + " / " + p.total;
+  $("t-done-note").textContent = p.by_status.failed + " failed \\u00b7 " +
+    p.by_status.cached + " cached";
+  $("t-queue").textContent = p.queue.pending;
+  $("t-queue-note").textContent = p.queue.in_flight + " in flight \\u00b7 cap " +
+    p.queue.max_queue;
+  const alive = p.workers.filter((w) => w.alive).length;
+  $("t-workers").textContent = alive;
+  $("t-workers-note").textContent = p.workers.length + " ever seen";
+  $("t-hits").textContent = Math.round(p.store.hit_rate * 100) + "%";
+  $("t-hits-note").textContent = p.store.hits + " hits \\u00b7 " +
+    p.store.records + " records";
+  drawChart(p.throughput);
+  $("workers").innerHTML = p.workers.map((w) =>
+    "<tr><td>" + esc(w.name) + "</td><td>" +
+    (w.alive ? statusCell("running").replace(">running<", ">alive<")
+             : '<span class="dead">\\u25cf lost</span>') +
+    "</td><td>" + w.last_seen_s + "s ago</td><td>" + w.jobs_done +
+    "</td><td>" + w.jobs_failed + "</td><td class=\\"label-cell\\">" +
+    esc(w.current_job || "\\u2014") + "</td></tr>").join("") ||
+    '<tr><td colspan="6" class="err">no workers yet</td></tr>';
+  $("jobs").innerHTML = p.jobs.slice(0, 200).map((j) =>
+    "<tr><td>" + statusCell(j.status) + "</td><td class=\\"label-cell\\">" +
+    esc(j.label) +
+    (j.error ? ' <span class="err">' + esc(j.error) + "</span>" : "") +
+    "</td><td>" + esc(j.worker || "\\u2014") + "</td><td>" + j.attempts +
+    "</td><td>" + (j.elapsed_s ? j.elapsed_s.toFixed(1) + "s" : "\\u2014") +
+    "</td></tr>").join("") ||
+    '<tr><td colspan="5" class="err">no jobs submitted yet</td></tr>';
+}
+
+async function tick() {
+  try {
+    const resp = await fetch("/api/progress", {cache: "no-store"});
+    render(await resp.json());
+  } catch (err) {
+    $("offline").style.display = "block";
+  }
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+"""

@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the result store entirely",
     )
     run.add_argument(
+        "--service", default=None, metavar="URL",
+        help="run the oracle cells on a sweep coordinator "
+             "(python -m repro.service coordinator) instead of a local "
+             "pool",
+    )
+    run.add_argument(
         "--results-dir", default=None, metavar="DIR",
         help=f"results root (default: ${RESULTS_DIR_ENV} or "
              f"{DEFAULT_RESULTS_DIR})",
@@ -210,7 +216,7 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         names, seeds=seeds, scale=ns.scale,
         jobs=ns.jobs if ns.jobs is not None else 1,
         store=store, force=ns.force, timeout_s=ns.timeout, log=log,
-        fidelity=ns.fidelity, topology=ns.topology,
+        fidelity=ns.fidelity, topology=ns.topology, service=ns.service,
     )
     print(format_table(["oracle", "check", "verdict", "observed"],
                        _report_rows(reports)))

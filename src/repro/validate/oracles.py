@@ -462,6 +462,7 @@ def run_oracles(
     log=None,
     fidelity: Optional[str] = None,
     topology: Optional[str] = None,
+    service: Optional[str] = None,
 ) -> List[OracleReport]:
     """Run the named oracles (default: all) across ``seeds``.
 
@@ -494,6 +495,7 @@ def run_oracles(
     outcomes = run_jobs(
         [spec for _, specs in batches for spec in specs],
         jobs=jobs, store=store, force=force, timeout_s=timeout_s, log=log,
+        service=service,
     )
     reports: List[OracleReport] = []
     cursor = 0

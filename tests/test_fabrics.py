@@ -336,6 +336,40 @@ def test_p2_exact_below_five_samples():
     assert q.value() == 3.0
 
 
+def test_p2_small_n_matches_exact_percentile():
+    assert P2Quantile(0.9).value() is None  # no samples yet
+    q = P2Quantile(0.5)
+    q.add(7.0)
+    assert q.value() == 7.0  # n=1: the sample is every percentile
+    q.add(3.0)
+    assert q.value() == 5.0  # n=2: linear interpolation, not a marker
+    samples = [4.0, 2.0, 8.0, 6.0]
+    for pct in (0.5, 0.9, 0.99, 0.999):
+        est = P2Quantile(pct)
+        for v in samples:
+            est.add(v)
+        assert est.value() == pytest.approx(percentile(samples, pct * 100))
+
+
+def test_p2_duplicate_heavy_streams_stay_finite():
+    # all-identical stream: every marker collapses to the same height
+    q = P2Quantile(0.99)
+    for _ in range(50):
+        q.add(5.0)
+    assert q.value() == 5.0
+    # duplicates below five samples use the exact fallback
+    q = P2Quantile(0.5)
+    for v in (2.0, 2.0, 1.0):
+        q.add(v)
+    assert q.value() == 2.0
+    # near-constant stream with one outlier must not diverge or crash
+    q = P2Quantile(0.9)
+    for i in range(200):
+        q.add(1.0 if i != 100 else 100.0)
+    value = q.value()
+    assert 1.0 <= value <= 100.0
+
+
 def test_streaming_quantiles_track_exact_percentiles():
     import random
 

@@ -279,6 +279,66 @@ def test_corrupt_store_entry_is_cache_miss_and_reruns(tmp_path, garbage):
     assert [o.status for o in again] == ["cached"]
 
 
+# --- store hygiene -----------------------------------------------------------
+
+def _seed_store_with_debris(tmp_path):
+    """A store holding 2 good records, 1 corrupt record, 1 orphan tmp."""
+    store = ResultStore(str(tmp_path / "results"))
+    specs = [JobSpec.make(job_ok, value=i, label=f"g{i}") for i in range(2)]
+    run_jobs(specs, jobs=1, store=store)
+    with open(os.path.join(store.store_dir, "deadbeef.json"), "w") as fh:
+        fh.write('{"hash": "deadbeef"}')  # parses, lost its result
+    with open(os.path.join(store.store_dir, "orphan.tmp"), "w") as fh:
+        fh.write('{"half": "writ')  # writer died before os.replace
+    return store
+
+
+def test_store_len_is_file_count_and_records_skip_corrupt(tmp_path):
+    store = _seed_store_with_debris(tmp_path)
+    assert len(store) == 3  # counts .json files without parsing
+    assert len(list(store.records())) == 2  # corrupt one filtered out
+    assert len(ResultStore(str(tmp_path / "nowhere"))) == 0
+
+
+def test_store_gc_removes_tmp_and_corrupt_keeps_good(tmp_path):
+    store = _seed_store_with_debris(tmp_path)
+    stats = store.gc()
+    assert stats == {"tmp_removed": 1, "corrupt_removed": 1, "kept": 2}
+    assert len(store) == 2
+    names = os.listdir(store.store_dir)
+    assert not [n for n in names if n.endswith(".tmp")]
+    assert len(list(store.records())) == 2
+    # idempotent on a clean store
+    assert store.gc() == {"tmp_removed": 0, "corrupt_removed": 0, "kept": 2}
+    assert ResultStore(str(tmp_path / "nowhere")).gc() == {
+        "tmp_removed": 0, "corrupt_removed": 0, "kept": 0}
+
+
+def test_cli_store_gc(tmp_path, capsys):
+    store = _seed_store_with_debris(tmp_path)
+    assert cli_main(["store", "gc", "--results-dir",
+                     str(tmp_path / "results")]) == 0
+    out = capsys.readouterr().out
+    assert "1 orphaned tmp file(s)" in out
+    assert "1 corrupt record(s)" in out
+    assert "2 record(s) kept" in out
+    assert len(store) == 2
+
+
+# --- retries knob on the CLI -------------------------------------------------
+
+def test_cli_rejects_negative_retries(capsys):
+    assert cli_main(["run", "scalability", "--retries", "-1"]) == 2
+    assert "--retries" in capsys.readouterr().err
+
+
+def test_run_jobs_retries_zero_fails_fast():
+    out = run_jobs([JobSpec.make(job_raise, label="raiser")],
+                   jobs=1, retries=0)
+    assert out[0].status == "failed"
+    assert out[0].attempts == 1  # no budget: a single attempt
+
+
 # --- jobs/timeout validation ------------------------------------------------
 
 @pytest.mark.parametrize("timeout_s", [0, -1, -0.5])

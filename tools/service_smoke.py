@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI smoke test for the sweep service (repro.service).
+
+Spawns a real coordinator and two real workers as subprocesses on
+localhost, runs a tiny scalability sweep through
+``python -m repro.runner run ... --service URL``, then runs the same
+sweep locally and asserts the two result stores hold the same records
+— same hashes, specs, labels and byte-identical ``result`` payloads
+(timestamps/elapsed are execution metadata and legitimately differ).
+
+Usage::
+
+    python tools/service_smoke.py [--workdir DIR]
+
+Exits non-zero (with a diagnostic) on any mismatch.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SWEEP_ARGS = [
+    "run", "scalability", "--schemes", "presto,ecmp", "--points", "2",
+    "--seeds", "1", "--warm-ms", "1", "--measure-ms", "2",
+]
+PORT = 8673  # fixed localhost port; nothing else in CI uses it
+
+
+def env_with_src():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO, "src"),
+                    env.get("PYTHONPATH", "")) if p)
+    return env
+
+
+def wait_for(url, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url + "/healthz", timeout=2) as r:
+                if r.status == 200:
+                    return
+        except OSError:
+            time.sleep(0.2)
+    raise RuntimeError(f"coordinator at {url} never became healthy")
+
+
+def store_essence(results_dir):
+    """hash -> canonicalized location-independent record fields."""
+    out = {}
+    store_dir = os.path.join(results_dir, "store")
+    for name in sorted(os.listdir(store_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(store_dir, name)) as fh:
+            record = json.load(fh)
+        out[record["hash"]] = json.dumps(
+            {k: record[k] for k in ("hash", "label", "spec", "result")},
+            sort_keys=True)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workdir", default=None,
+                        help="scratch dir (default: a fresh tempdir)")
+    ns = parser.parse_args()
+    workdir = ns.workdir or tempfile.mkdtemp(prefix="service-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    svc_dir = os.path.join(workdir, "svc")
+    local_dir = os.path.join(workdir, "local")
+    url = f"http://127.0.0.1:{PORT}"
+    env = env_with_src()
+    procs = []
+    try:
+        procs.append(subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "coordinator",
+             "--port", str(PORT), "--results-dir", svc_dir],
+            env=env, cwd=REPO))
+        wait_for(url)
+        for i in range(2):
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.service", "worker", url,
+                 "--name", f"smoke-w{i}", "--poll", "0.1"],
+                env=env, cwd=REPO))
+
+        print(f"+ sweep via coordinator at {url}", flush=True)
+        subprocess.run(
+            [sys.executable, "-m", "repro.runner", *SWEEP_ARGS,
+             "--service", url, "--results-dir",
+             os.path.join(workdir, "client")],
+            env=env, cwd=REPO, check=True, timeout=600)
+
+        print("+ same sweep locally", flush=True)
+        subprocess.run(
+            [sys.executable, "-m", "repro.runner", *SWEEP_ARGS,
+             "--jobs", "2", "--results-dir", local_dir],
+            env=env, cwd=REPO, check=True, timeout=600)
+
+        with urllib.request.urlopen(url + "/api/progress", timeout=5) as r:
+            progress = json.load(r)
+        assert progress["finished"] == progress["total"] > 0, progress
+        assert len(progress["workers"]) == 2, progress["workers"]
+
+        svc = store_essence(svc_dir)
+        local = store_essence(local_dir)
+        if svc != local:
+            only_svc = set(svc) - set(local)
+            only_local = set(local) - set(svc)
+            differing = [h for h in set(svc) & set(local)
+                         if svc[h] != local[h]]
+            print(f"STORE MISMATCH: only-service={sorted(only_svc)} "
+                  f"only-local={sorted(only_local)} "
+                  f"differing={sorted(differing)}", file=sys.stderr)
+            return 1
+        print(f"service smoke OK: {len(svc)} record(s) identical across "
+              "service and local runs; "
+              f"{progress['finished']}/{progress['total']} jobs, "
+              f"{len(progress['workers'])} workers")
+        return 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        if ns.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
