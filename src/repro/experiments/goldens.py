@@ -28,9 +28,39 @@ GOLDEN_PATHS = 2
 GOLDEN_WARM_NS = msec(2)
 GOLDEN_MEASURE_NS = msec(3)
 
+#: schemes added by the tournament zoo.  Their goldens pin a small
+#: *tournament* cell (trace workload on a tiny Clos at packet
+#: fidelity) instead of the scalability cell, so the fixture exercises
+#: the behavior the zoo exists for — size-differentiated routing and
+#: replication need a mixed mice/elephant workload, which the
+#: elephant-only Fig 4a cell never triggers.  Keeping the dispatch
+#: keyed on this explicit tuple guarantees the eight legacy fixtures
+#: keep their historical bytes.
+ZOO_SCHEMES = ("diffflow", "repflow", "elephant_iso")
+ZOO_GOLDEN_TOPOLOGY = "clos:spines=2,leaves=2,hosts=2"
+ZOO_GOLDEN_WORKLOAD = "websearch"
+ZOO_GOLDEN_DURATION_NS = msec(3)
+ZOO_GOLDEN_DRAIN_NS = msec(2)
 
-def golden_run(scheme: str) -> RunResult:
+
+def golden_zoo_run(scheme: str):
+    """The canonical tiny tournament cell for a zoo ``scheme``."""
+    from repro.experiments.fabric_sweep import run_fabric_cell
+    from repro.experiments.harness import TestbedConfig
+
+    return run_fabric_cell(
+        TestbedConfig(scheme=scheme, topology=ZOO_GOLDEN_TOPOLOGY,
+                      seed=GOLDEN_SEED),
+        workload=ZOO_GOLDEN_WORKLOAD,
+        duration_ns=ZOO_GOLDEN_DURATION_NS,
+        drain_ns=ZOO_GOLDEN_DRAIN_NS,
+    )
+
+
+def golden_run(scheme: str):
     """The canonical tiny run for ``scheme``."""
+    if scheme in ZOO_SCHEMES:
+        return golden_zoo_run(scheme)
     return run_scalability_seed(
         scalability_config(scheme, GOLDEN_PATHS, GOLDEN_SEED),
         warm_ns=GOLDEN_WARM_NS,

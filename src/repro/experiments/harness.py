@@ -17,7 +17,14 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.experiments.schemes import get_scheme, is_registered, scheme_names
-from repro.host.app import BulkApp, FlowIdAllocator, MiceApp, RttProbeApp
+from repro.host.app import (
+    BulkApp,
+    FlowIdAllocator,
+    MiceApp,
+    RepFlowApp,
+    RttProbeApp,
+)
+from repro.lb.repflow import REPFLOW_MICE_BYTES
 from repro.host.cpu import CpuCosts
 from repro.host.gro import OfficialGro, PrestoGro
 from repro.host.host import Host
@@ -352,6 +359,16 @@ class Testbed:
     def is_mptcp(self) -> bool:
         return self.scheme_def.transport == "mptcp"
 
+    @property
+    def is_repflow(self) -> bool:
+        return self.scheme_def.transport == "repflow"
+
+    def _replicates(self, size_bytes: Optional[int]) -> bool:
+        """RepFlow races two copies of bounded mice only; elephants and
+        unbounded streams stay single-path TCP."""
+        return (self.is_repflow and size_bytes is not None
+                and size_bytes <= REPFLOW_MICE_BYTES)
+
     def enable_control_plane(self):
         """Attach the modeled control plane (repro.faults): the
         controller subscribes to every link and pushes reweighted
@@ -395,6 +412,16 @@ class Testbed:
                 start_ns=start_ns,
                 on_complete=on_complete,
             )
+        elif self._replicates(size_bytes):
+            app = RepFlowApp(
+                self.sim,
+                self.hosts[src],
+                self.hosts[dst],
+                self.flow_ids,
+                size_bytes=size_bytes,
+                start_ns=start_ns,
+                on_complete=on_complete,
+            )
         else:
             app = BulkApp(
                 self.sim,
@@ -420,6 +447,16 @@ class Testbed:
         """Periodic mice flows; returns an object exposing ``fcts_ns``."""
         if self.is_mptcp:
             app = MptcpMiceApp(
+                self,
+                src,
+                dst,
+                size_bytes=size_bytes,
+                interval_ns=interval_ns,
+                start_ns=start_ns,
+                stop_ns=stop_ns,
+            )
+        elif self._replicates(size_bytes):
+            app = RepFlowMiceApp(
                 self,
                 src,
                 dst,
@@ -476,6 +513,62 @@ class Testbed:
 
     def elephant_delivered(self, app) -> int:
         return app.delivered_bytes()
+
+
+class RepFlowMiceApp:
+    """Mice over RepFlow: each periodic request raced as two replicated
+    copies on disjoint trees; its FCT is the first finisher's."""
+
+    def __init__(self, tb: Testbed, src: int, dst: int, size_bytes: int,
+                 interval_ns: int, start_ns: int = 0,
+                 stop_ns: Optional[int] = None):
+        self.tb = tb
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.interval_ns = interval_ns
+        self.stop_ns = stop_ns
+        self.fcts_ns: List[int] = []
+        self.sent = 0
+        self._transfers: List[RepFlowApp] = []
+        tb.sim.schedule(start_ns, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_ns is not None and self.tb.sim.now >= self.stop_ns:
+            return
+        app = RepFlowApp(
+            self.tb.sim,
+            self.tb.hosts[self.src],
+            self.tb.hosts[self.dst],
+            self.tb.flow_ids,
+            size_bytes=self.size_bytes,
+            on_complete=self._done,
+        )
+        self._transfers.append(app)
+        self.sent += 1
+        self.tb.sim.schedule(self.interval_ns, self._tick)
+
+    def _done(self, app: RepFlowApp) -> None:
+        if app.fct_ns is not None:
+            self.fcts_ns.append(app.fct_ns)
+
+    @property
+    def dup_suppressed_bytes(self) -> int:
+        return sum(t.dup_suppressed_bytes for t in self._transfers)
+
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> tuple:
+        return tuple(f for t in self._transfers for f in t.flow_ids())
+
+    def delivered_by_flow(self) -> dict:
+        out: dict = {}
+        for transfer in self._transfers:
+            out.update(transfer.delivered_by_flow())
+        return out
+
+    def delivered_bytes(self) -> int:
+        return sum(t.delivered_bytes() for t in self._transfers)
 
 
 class MptcpMiceApp:

@@ -23,14 +23,18 @@ CLI's ``--schemes``, plotting scripts) because ``SCHEMES`` in
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from repro.lb.base import LoadBalancer
+from repro.lb.diffflow import DiffFlowLb
 from repro.lb.ecmp import EcmpLb
+from repro.lb.elephant_iso import ElephantIsoLb
 from repro.lb.flowlet import FlowletLb
 from repro.lb.perpacket import PerPacketLb
 from repro.lb.presto_ecmp import PrestoEcmpLb
+from repro.lb.repflow import RepFlowLb
 from repro.net.switch import HASH_FLOW, HASH_FLOWCELL
 from repro.presto.vswitch import PrestoLb
 from repro.units import usec
@@ -57,23 +61,34 @@ class Scheme:
     leaf_hash_mode: str = HASH_FLOW
 
 
+#: transports the harness knows how to open transfers for
+TRANSPORTS = ("tcp", "mptcp", "repflow")
+
 _REGISTRY: Dict[str, Scheme] = {}
+#: scheme name -> the module whose import registered it, so a duplicate
+#: registration error can name its rival (import-order debugging)
+_REGISTERED_BY: Dict[str, str] = {}
 
 
 def register(scheme: Scheme) -> Scheme:
     """Add ``scheme`` to the registry.  Name collisions are an error —
     re-registering would silently change what every experiment runs."""
     if scheme.name in _REGISTRY:
-        raise ValueError(f"scheme {scheme.name!r} is already registered")
+        raise ValueError(
+            f"scheme {scheme.name!r} is already registered (by "
+            f"{_REGISTERED_BY.get(scheme.name, '<unknown module>')}); "
+            f"pick another name")
     if scheme.gro not in ("official", "presto"):
         raise ValueError(
             f"scheme {scheme.name!r}: gro must be 'official' or 'presto', "
             f"got {scheme.gro!r}")
-    if scheme.transport not in ("tcp", "mptcp"):
+    if scheme.transport not in TRANSPORTS:
         raise ValueError(
-            f"scheme {scheme.name!r}: transport must be 'tcp' or 'mptcp', "
-            f"got {scheme.transport!r}")
+            f"scheme {scheme.name!r}: transport must be one of "
+            f"{TRANSPORTS}, got {scheme.transport!r}")
     _REGISTRY[scheme.name] = scheme
+    caller = sys._getframe(1).f_globals.get("__name__", "<unknown module>")
+    _REGISTERED_BY[scheme.name] = caller
     return scheme
 
 
@@ -154,4 +169,30 @@ register(Scheme(
         host_id, rng, threshold=cfg.flowcell_bytes),
     gro="presto",
     leaf_hash_mode=HASH_FLOWCELL,
+))
+
+# --- the scheme zoo: related-work competitors (see EXPERIMENTS.md
+# "Tournament" for design summaries + citations) -------------------------------
+
+register(Scheme(
+    name="diffflow",
+    description="DiffFlow: mice sprayed per-packet, elephants pinned "
+                "via ECMP past a 100 KB cutoff",
+    make_lb=lambda cfg, host_id, rng, sim: DiffFlowLb(host_id, rng),
+))
+
+register(Scheme(
+    name="repflow",
+    description="RepFlow: mice duplicated onto a disjoint second tree, "
+                "first finisher wins",
+    make_lb=lambda cfg, host_id, rng, sim: RepFlowLb(host_id, rng),
+    transport="repflow",
+))
+
+register(Scheme(
+    name="elephant_iso",
+    description="RDNA-style isolation: detected elephants moved to "
+                "dedicated source-routed trees, mice share the rest",
+    make_lb=lambda cfg, host_id, rng, sim: ElephantIsoLb(host_id, rng),
+    gro="presto",
 ))

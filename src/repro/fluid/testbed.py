@@ -74,6 +74,87 @@ class FluidHost:
         pass  # nothing packet-shaped ever arrives at fluid fidelity
 
 
+class RepFlowFluidApp:
+    """Fluid-fidelity RepFlow transfer: two full-size fluid copies
+    raced over disjoint trees (mirrors :class:`repro.host.app.RepFlowApp`).
+
+    Each copy is an ordinary bounded :class:`FluidTransfer`, so the
+    engine's conservation invariants hold per copy; the wrapper does
+    the first-finisher-wins FCT accounting and suppresses the
+    duplicate's bytes from the application-level ledger."""
+
+    def __init__(self, tb: "FluidTestbed", src: int, dst: int,
+                 size_bytes: int, start_ns: int = 0, on_complete=None):
+        if size_bytes is None or size_bytes <= 0:
+            raise ValueError(
+                f"RepFlow replicates bounded transfers only, "
+                f"got size_bytes={size_bytes}")
+        self.size_bytes = size_bytes
+        self.on_complete = on_complete
+        self.winner = None
+        lb = tb.hosts[src].lb
+        primary = tb.flow_ids.next()
+        replica = tb.flow_ids.next()
+        pair = getattr(lb, "pair", None)
+        if pair is not None:
+            pair(primary, replica)
+        self.copies = tuple(
+            tb.engine.open_transfer(
+                src, dst, lb, [flow_id], size_bytes=size_bytes,
+                start_ns=start_ns, on_complete=self._copy_done)
+            for flow_id in (primary, replica)
+        )
+        receivers = tb.hosts[dst].receivers
+        for copy in self.copies:
+            for flow_id in copy.flow_ids():
+                receivers[flow_id] = _FluidRx(copy, flow_id)
+
+    def _copy_done(self, copy: FluidTransfer) -> None:
+        if self.winner is None:
+            self.winner = copy
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    def _leader(self) -> FluidTransfer:
+        if self.winner is not None:
+            return self.winner
+        return max(self.copies, key=lambda c: (c.delivered_bytes(),
+                                               -c.flow_ids()[0]))
+
+    @property
+    def dup_suppressed_bytes(self) -> int:
+        """Payload bytes the receiver discarded as duplicates."""
+        leader = self._leader()
+        return sum(c.delivered_bytes() for c in self.copies
+                   if c is not leader)
+
+    # --- Transfer protocol ------------------------------------------------
+
+    def flow_ids(self) -> tuple:
+        return tuple(f for c in self.copies for f in c.flow_ids())
+
+    def delivered_by_flow(self) -> dict:
+        leader = self._leader()
+        out: dict = {}
+        for copy in self.copies:
+            for flow_id in copy.flow_ids():
+                out[flow_id] = (copy.delivered_by_flow()[flow_id]
+                                if copy is leader else 0)
+        return out
+
+    def delivered_bytes(self) -> int:
+        return self._leader().delivered_bytes()
+
+    @property
+    def fct_ns(self):
+        return self.winner.fct_ns if self.winner is not None else None
+
+    @property
+    def fcts_ns(self) -> tuple:
+        fct = self.fct_ns
+        return (fct,) if fct is not None else ()
+
+
 class FluidMiceApp:
     """Periodic mice at fluid fidelity; mirrors ``MiceApp``'s shape
     (``fcts_ns``, ``sent``, Transfer protocol over spawned flows)."""
@@ -105,6 +186,13 @@ class FluidMiceApp:
     def _done(self, transfer: FluidTransfer) -> None:
         if transfer.fct_ns is not None:
             self.fcts_ns.append(transfer.fct_ns)
+
+    @property
+    def dup_suppressed_bytes(self) -> int:
+        """RepFlow duplicate suppression, rolled up over spawned mice
+        (0 for single-copy transports)."""
+        return sum(getattr(t, "dup_suppressed_bytes", 0)
+                   for t in self._transfers)
 
     # --- Transfer protocol ------------------------------------------------
 
@@ -256,7 +344,11 @@ class FluidTestbed(Testbed):
     # --- traffic ----------------------------------------------------------
 
     def _open(self, src: int, dst: int, size_bytes: Optional[int],
-              start_ns: int = 0, on_complete=None) -> FluidTransfer:
+              start_ns: int = 0, on_complete=None):
+        if self._replicates(size_bytes):
+            return RepFlowFluidApp(self, src, dst, size_bytes,
+                                   start_ns=start_ns,
+                                   on_complete=on_complete)
         n_flows = self.cfg.mptcp_subflows if self.is_mptcp else 1
         ids = [self.flow_ids.next() for _ in range(n_flows)]
         transfer = self.engine.open_transfer(

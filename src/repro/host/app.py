@@ -88,6 +88,94 @@ class BulkApp:
         return (fct,) if fct is not None else ()
 
 
+class RepFlowApp:
+    """One RepFlow transfer: the payload raced as two full copies over
+    disjoint paths (see :class:`repro.lb.repflow.RepFlowLb`).
+
+    The first copy to finish sets the transfer's FCT and is the one
+    whose bytes count as delivered; the duplicate's payload is
+    *suppressed* at the receiver — tracked in ``dup_suppressed_bytes``,
+    never in ``delivered_bytes()``, so byte conservation holds at the
+    application layer (received payload == flow size) while the wire
+    carries both copies.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        flow_ids: FlowIdAllocator,
+        size_bytes: int,
+        start_ns: int = 0,
+        on_complete=None,
+    ):
+        if size_bytes is None or size_bytes <= 0:
+            raise ValueError(
+                f"RepFlow replicates bounded transfers only, "
+                f"got size_bytes={size_bytes}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.on_complete = on_complete
+        self.winner = None
+        primary = flow_ids.next()
+        replica = flow_ids.next()
+        pair = getattr(src.lb, "pair", None)
+        if pair is not None:
+            pair(primary, replica)
+        self.copies = tuple(
+            BulkApp(sim, src, dst, flow_id, size_bytes=size_bytes,
+                    start_ns=start_ns, on_complete=self._copy_done)
+            for flow_id in (primary, replica)
+        )
+
+    def _copy_done(self, copy: BulkApp) -> None:
+        if self.winner is None:
+            self.winner = copy
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    def _leader(self) -> BulkApp:
+        """The copy whose bytes count: the winner once decided, else
+        whichever copy is ahead (ties go to the primary)."""
+        if self.winner is not None:
+            return self.winner
+        return max(self.copies, key=lambda c: (c.delivered_bytes(),
+                                               -c.flow_id))
+
+    @property
+    def dup_suppressed_bytes(self) -> int:
+        """Payload bytes the receiver discarded as duplicates."""
+        leader = self._leader()
+        return sum(c.delivered_bytes() for c in self.copies
+                   if c is not leader)
+
+    # --- Transfer interface ---------------------------------------------------
+
+    def flow_ids(self) -> Tuple[int, ...]:
+        return tuple(c.flow_id for c in self.copies)
+
+    def delivered_by_flow(self) -> Dict[int, int]:
+        leader = self._leader()
+        return {c.flow_id: (c.delivered_bytes() if c is leader else 0)
+                for c in self.copies}
+
+    def delivered_bytes(self) -> int:
+        return self._leader().delivered_bytes()
+
+    @property
+    def fct_ns(self):
+        """First-finisher-wins completion time."""
+        return self.winner.fct_ns if self.winner is not None else None
+
+    @property
+    def fcts_ns(self) -> Tuple[int, ...]:
+        fct = self.fct_ns
+        return (fct,) if fct is not None else ()
+
+
 class MiceApp:
     """Periodic 50 KB mice flows from ``src`` to ``dst``.
 

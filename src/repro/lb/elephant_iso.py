@@ -1,0 +1,98 @@
+"""RDNA-style elephant isolation: detected elephants get their own
+source-routed paths, mice share the rest.
+
+Following the residual-capacity / elephant-detection designs in the
+RDNA lineage (e.g. Liberato et al., "RDNA: Residue-Defined Networking
+Architecture Enabling Ultra-Reliable Low-Latency Datacenters", and the
+Hedera/Mahout edge-detection tradition): the edge watches per-flow
+byte counts, and the moment a flow crosses the elephant threshold it
+is moved off the shared multipath fabric onto a *dedicated* label — a
+shadow-MAC spanning tree reserved for elephants, which in this fabric
+is exactly a source route (the label fully determines the path).  Mice
+keep Presto-style flowcell spraying, but only over the shared subset
+of trees, so an elephant's standing queue never sits in front of a
+mouse.
+
+The label partition is positional over the schedule's distinct labels:
+the first ``ceil(n/2)`` trees are shared (mice), the rest are the
+elephant reservation.  With one usable tree everything shares it —
+isolation is best-effort under degraded fabrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lb.base import LoadBalancer
+from repro.net.packet import Segment
+from repro.presto.flowcell import FLOWCELL_BYTES, FlowcellTagger
+from repro.units import MB
+
+#: cumulative-byte threshold past which a flow is a detected elephant
+#: (matches the trace workloads' 1 MB elephant limit)
+ELEPHANT_THRESHOLD = 1 * MB
+
+
+def split_labels(labels: List[int]) -> Tuple[List[int], List[int]]:
+    """Partition a schedule into (shared mice labels, dedicated
+    elephant labels).  Duplicates (WCMP weights) are collapsed first so
+    the split is over distinct trees; with fewer than two distinct
+    labels both classes share everything."""
+    distinct = list(dict.fromkeys(labels))
+    if len(distinct) < 2:
+        return distinct, distinct
+    n_shared = (len(distinct) + 1) // 2
+    return distinct[:n_shared], distinct[n_shared:]
+
+
+class ElephantIsoLb(LoadBalancer):
+    name = "elephant_iso"
+
+    def __init__(self, host_id: int, rng=None,
+                 threshold: int = ELEPHANT_THRESHOLD,
+                 flowcell_bytes: int = FLOWCELL_BYTES):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive: {threshold}")
+        super().__init__(host_id, rng)
+        self.threshold = threshold
+        self.tagger = FlowcellTagger(flowcell_bytes)
+        self.tagger.set_initial_index_fn(
+            lambda flow_id: self.rng.randrange(1 << 16))
+        #: detected elephants (latched): flow_id -> dedicated-label slot
+        self._elephants: Dict[int, int] = {}
+        #: per-flow high-water mark of sent bytes
+        self._sent: Dict[int, int] = {}
+        #: round-robin cursor over the dedicated labels
+        self._next_slot = 0
+
+    def is_elephant(self, flow_id: int) -> bool:
+        return flow_id in self._elephants
+
+    def _detect(self, flow_id: int, end_seq: int) -> bool:
+        if flow_id in self._elephants:
+            return True
+        hi = self._sent.get(flow_id, 0)
+        if end_seq > hi:
+            self._sent[flow_id] = hi = end_seq
+        if hi > self.threshold:
+            # assign dedicated paths round-robin so concurrent
+            # elephants land on different reserved trees
+            self._elephants[flow_id] = self._next_slot
+            self._next_slot += 1
+            return True
+        return False
+
+    def select(self, seg: Segment) -> None:
+        shared, dedicated = split_labels(self.labels_for(seg.dst_host))
+        # Algorithm-1 cell tagging either way: flowcell IDs must stay
+        # monotone per flow across the mouse->elephant transition
+        if self._detect(seg.flow_id, seg.end_seq):
+            _, cell = self.tagger.tag(
+                seg.flow_id, seg.payload_len, len(dedicated))
+            slot = self._elephants[seg.flow_id]
+            seg.dst_mac = dedicated[slot % len(dedicated)]
+        else:
+            idx, cell = self.tagger.tag(
+                seg.flow_id, seg.payload_len, len(shared))
+            seg.dst_mac = shared[idx % len(shared)]
+        seg.flowcell_id = cell

@@ -227,6 +227,46 @@ def _run_fabric(
     return SweepReport("fabric", headers, rows, grid)
 
 
+def _run_tournament(
+    schemes: Sequence[str],
+    points: Sequence[int],  # unused: the tournament grid is fixed
+    seeds: Sequence[int],
+    warm_ns: int,  # unused: tournament cells measure from t=0
+    measure_ns: int,
+    *,
+    jobs: int,
+    store: Optional[ResultStore],
+    force: bool,
+    timeout_s: Optional[float],
+    retries: int = 1,
+    log=None,
+    telemetry=None,
+    fidelity=None,
+    service: Optional[str] = None,
+    topologies: Sequence[str] = (),
+    validate: bool = False,
+) -> SweepReport:
+    from repro.experiments.tournament import (
+        DEFAULT_TOPOLOGIES,
+        run_tournament,
+        standings_rows,
+    )
+
+    result = run_tournament(
+        schemes=schemes,
+        topologies=topologies or DEFAULT_TOPOLOGIES,
+        seeds=seeds,
+        duration_ns=measure_ns,
+        validate=validate,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s,
+        retries=retries, log=log,
+        telemetry=telemetry, service=service,
+        fidelity=fidelity if fidelity is not None else "flow",
+    )
+    headers = ["rank", "scheme", "mean place", "wins", "cells"]
+    return SweepReport("tournament", headers, standings_rows(result), result)
+
+
 SWEEPS = {
     "scalability": SweepDef(
         name="scalability",
@@ -256,6 +296,16 @@ SWEEPS = {
                     "fidelity by default)",
         default_points=(),
         run=_run_fabric,
+        accepts_topology=True,
+    ),
+    "tournament": SweepDef(
+        name="tournament",
+        description="Scheme zoo standings: every registered scheme x "
+                    "websearch/datamining/incast x three fabrics, "
+                    "Borda-ranked by mice FCT (see "
+                    "repro.experiments.tournament)",
+        default_points=(),
+        run=_run_tournament,
         accepts_topology=True,
     ),
 }

@@ -17,6 +17,14 @@ the verdicts survive re-seeding and scale changes:
     interleavings stays near one for Presto (flowcells + Presto GRO)
     and strictly beats per-packet spraying into the unmodified GRO.
 
+``tournament_ordering`` (Tournament)
+    On a doubled-load websearch tournament cell (see
+    :mod:`repro.experiments.tournament`), Presto's and RepFlow's mean
+    mice FCT both beat per-flow ECMP's — the relative ordering the
+    related-work zoo exists to demonstrate.  Packet fidelity only:
+    the collision queueing RepFlow hedges against is invisible to the
+    fluid engine.
+
 ``failover`` (Figs 17/18)
     After a mid-run link failure: the control plane reacts; hardware
     failover restores throughput within a bound long before that
@@ -71,6 +79,16 @@ REORDER_DURATION_NS = msec(25)
 FAILOVER_WORKLOAD = "L1->L4"
 FAILOVER_WARM_NS = msec(8)
 FAILOVER_MEASURE_NS = msec(12)
+
+#: the tournament ordering claim is checked on a doubled-load
+#: websearch cell: at 1x the access links dominate and the field
+#: compresses; at 2x fabric collisions separate the schemes
+TOURNAMENT_SCHEMES = ("ecmp", "presto", "repflow")
+TOURNAMENT_TOPOLOGY = "clos:spines=4,leaves=4,hosts=4"
+TOURNAMENT_WORKLOAD = "websearch"
+TOURNAMENT_DURATION_NS = msec(5)
+TOURNAMENT_DRAIN_NS = msec(5)
+TOURNAMENT_LOAD_SCALE = 2.0
 
 
 def _scaled_ns(base_ns: int, scale: float) -> int:
@@ -134,6 +152,80 @@ def _fct_evaluate(seeds: Tuple[int, ...], scale: float,
         detail=f"mean mice FCT within {FCT_OPTIMAL_TOLERANCE}x of Optimal",
         presto_ms=means_ms["presto"], optimal_ms=means_ms["optimal"],
         tolerance=FCT_OPTIMAL_TOLERANCE,
+    )
+    return report
+
+
+# --- tournament_ordering -----------------------------------------------------
+
+
+def _tournament_specs(seeds: Sequence[int], scale: float,
+                      fidelity: Optional[str] = None,
+                      topology: Optional[str] = None) -> List[JobSpec]:
+    # Packet fidelity is the point: RepFlow's hedge pays off against
+    # hash-collision queueing, which the fluid engine's smooth rate
+    # sharing never produces (there, the duplicate's access-link cost
+    # is all that remains and the claim inverts).
+    if fidelity == "flow":
+        raise ValueError(
+            "tournament_ordering is packet-only: RepFlow's first-"
+            "finisher gain comes from collision queueing the fluid "
+            "engine does not model")
+    from repro.experiments.fabric_sweep import fabric_config, run_fabric_cell
+
+    return [
+        JobSpec.make(
+            run_fabric_cell,
+            cfg=fabric_config(topology or TOURNAMENT_TOPOLOGY, scheme,
+                              seed, fidelity),
+            label=f"validate/tournament/{scheme}/seed{seed}",
+            workload=TOURNAMENT_WORKLOAD,
+            duration_ns=_scaled_ns(TOURNAMENT_DURATION_NS, scale),
+            load_scale=TOURNAMENT_LOAD_SCALE,
+            drain_ns=_scaled_ns(TOURNAMENT_DRAIN_NS, scale),
+        )
+        for scheme in TOURNAMENT_SCHEMES
+        for seed in seeds
+    ]
+
+
+def _tournament_evaluate(seeds: Tuple[int, ...], scale: float,
+                         results: List[Any]) -> OracleReport:
+    report = OracleReport(oracle="tournament_ordering", figure="Tournament",
+                          seeds=seeds)
+    # count-weighted mean over seeds: cells carry P^2 summaries, not
+    # raw FCT populations
+    means_ms: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    it = iter(results)
+    for scheme in TOURNAMENT_SCHEMES:
+        total, n = 0.0, 0
+        for _ in seeds:
+            summary = next(it).fct_summary
+            count = summary.get("count") or 0
+            if count and summary.get("mean") is not None:
+                total += summary["mean"] * count
+                n += count
+        counts[scheme] = n
+        means_ms[scheme] = (total / n / 1e6) if n else float("inf")
+    report.require(
+        "mice_samples",
+        all(counts[s] for s in TOURNAMENT_SCHEMES),
+        detail="every scheme must complete mice inside the run",
+        **{f"n_{s}": counts[s] for s in TOURNAMENT_SCHEMES},
+    )
+    report.require(
+        "presto_beats_ecmp",
+        means_ms["presto"] < means_ms["ecmp"],
+        detail="mean mice FCT on the doubled-load websearch cell",
+        presto_ms=means_ms["presto"], ecmp_ms=means_ms["ecmp"],
+    )
+    report.require(
+        "repflow_beats_ecmp",
+        means_ms["repflow"] < means_ms["ecmp"],
+        detail="replicated mice must win the race against collision "
+               "queueing despite doubling their own access-link load",
+        repflow_ms=means_ms["repflow"], ecmp_ms=means_ms["ecmp"],
     )
     return report
 
@@ -412,6 +504,15 @@ ORACLES: Dict[str, OracleDef] = {
                         "saturating stride workload",
             build_specs=_fct_specs,
             evaluate=_fct_evaluate,
+        ),
+        OracleDef(
+            name="tournament_ordering",
+            figure="Tournament",
+            description="Presto and RepFlow mean mice FCT below ECMP "
+                        "on a doubled-load websearch tournament cell",
+            build_specs=_tournament_specs,
+            evaluate=_tournament_evaluate,
+            packet_only=True,
         ),
         OracleDef(
             name="gro_reordering",

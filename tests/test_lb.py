@@ -154,3 +154,31 @@ class TestPrestoModes:
             lb.select(s)
             counts[s.dst_mac] += 1
         assert counts[1001] == 2 * counts[1002] == 2 * counts[1003]
+
+
+class TestSchemeRegistry:
+    def test_duplicate_name_error_names_first_registrant(self):
+        """A collision must say which module owns the name, so the
+        loser of the race knows what to rename."""
+        from repro.experiments.schemes import Scheme, register
+
+        with pytest.raises(ValueError) as exc:
+            register(Scheme(name="diffflow", make_lb=lambda *a: None))
+        msg = str(exc.value)
+        assert "diffflow" in msg
+        assert "repro.experiments.schemes" in msg
+        assert "pick another name" in msg
+
+    def test_zoo_schemes_registered(self):
+        from repro.experiments.schemes import scheme_names
+
+        names = scheme_names()
+        for scheme in ("diffflow", "repflow", "elephant_iso"):
+            assert scheme in names
+
+    def test_unknown_transport_rejected(self):
+        from repro.experiments.schemes import Scheme, register
+
+        with pytest.raises(ValueError, match="transport"):
+            register(Scheme(name="zoo-test-bogus", make_lb=lambda *a: None,
+                            transport="udp"))
