@@ -13,6 +13,7 @@ touching this module.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
@@ -113,6 +114,17 @@ class TestbedConfig:
     gro_loss_detection: bool = True
     gro_initial_ewma_ns: Optional[int] = None
     gro_alpha: Optional[float] = None
+    #: Presto GRO reordering-EWMA smoothing gain (paper: 1/8).  A gain
+    #: is only meaningful in (0, 1]; tri-state with ``omit_if_none`` so
+    #: unset configs keep their historic store hashes.
+    gro_ewma_gain: Optional[float] = field(
+        default=None, metadata={"omit_if_none": True})
+    #: override the active zoo scheme's flow-size threshold (DiffFlow's
+    #: 100 KB mice cutoff / elephant_iso's 1 MB detection point) — the
+    #: knob repro.search sweeps for DiffFlow-style sensitivity curves.
+    #: Tri-state like ``gro_ewma_gain`` for hash stability.
+    zoo_threshold_bytes: Optional[int] = field(
+        default=None, metadata={"omit_if_none": True})
     #: arm the always-on invariants (repro.validate): every ``run()``
     #: checks conservation laws and raises InvariantViolation on a
     #: breach.  Tri-state on purpose: the None default is omitted from
@@ -189,9 +201,22 @@ class TestbedConfig:
             raise ValueError(
                 f"gro_initial_ewma_ns must be positive, "
                 f"got {self.gro_initial_ewma_ns}")
-        if self.gro_alpha is not None and self.gro_alpha <= 0:
+        # The search driver (repro.search) builds configs from generated
+        # knob values; reject nonsense here, at construction, with a
+        # message naming the knob — not deep inside GRO/topology code.
+        if self.gro_alpha is not None and not (
+                self.gro_alpha > 0 and math.isfinite(self.gro_alpha)):
             raise ValueError(
-                f"gro_alpha must be positive, got {self.gro_alpha}")
+                f"gro_alpha must be positive and finite, "
+                f"got {self.gro_alpha}")
+        if self.gro_ewma_gain is not None and not (
+                0.0 < self.gro_ewma_gain <= 1.0):
+            raise ValueError(
+                f"gro_ewma_gain must be in (0, 1], got {self.gro_ewma_gain}")
+        if self.zoo_threshold_bytes is not None and self.zoo_threshold_bytes <= 0:
+            raise ValueError(
+                f"zoo_threshold_bytes must be positive, "
+                f"got {self.zoo_threshold_bytes}")
         if self.fidelity == "packet":
             # explicit default: hash like historic configs
             self.fidelity = None
@@ -312,6 +337,8 @@ class Testbed:
                 kwargs["initial_ewma_ns"] = cfg.gro_initial_ewma_ns
             if cfg.gro_alpha is not None:
                 kwargs["alpha"] = cfg.gro_alpha
+            if cfg.gro_ewma_gain is not None:
+                kwargs["ewma_gain"] = cfg.gro_ewma_gain
             return PrestoGro(**kwargs)
         if kind == "official":
             return OfficialGro()

@@ -178,7 +178,10 @@ register(Scheme(
     name="diffflow",
     description="DiffFlow: mice sprayed per-packet, elephants pinned "
                 "via ECMP past a 100 KB cutoff",
-    make_lb=lambda cfg, host_id, rng, sim: DiffFlowLb(host_id, rng),
+    make_lb=lambda cfg, host_id, rng, sim: DiffFlowLb(
+        host_id, rng,
+        **({} if cfg.zoo_threshold_bytes is None
+           else {"threshold": cfg.zoo_threshold_bytes})),
 ))
 
 register(Scheme(
@@ -193,6 +196,9 @@ register(Scheme(
     name="elephant_iso",
     description="RDNA-style isolation: detected elephants moved to "
                 "dedicated source-routed trees, mice share the rest",
-    make_lb=lambda cfg, host_id, rng, sim: ElephantIsoLb(host_id, rng),
+    make_lb=lambda cfg, host_id, rng, sim: ElephantIsoLb(
+        host_id, rng,
+        **({} if cfg.zoo_threshold_bytes is None
+           else {"threshold": cfg.zoo_threshold_bytes})),
     gro="presto",
 ))

@@ -145,11 +145,16 @@ class PrestoGro(GroBase):
         max_segment_bytes: int = MAX_TSO_BYTES,
         loss_detection: bool = True,
         adaptive: bool = True,
+        ewma_gain: float = EWMA_GAIN,
     ):
         if alpha <= 0 or beta <= 0:
             raise ValueError("alpha and beta must be positive")
+        if not 0.0 < ewma_gain <= 1.0:
+            raise ValueError(
+                f"ewma_gain must be in (0, 1], got {ewma_gain}")
         self.alpha = alpha
         self.beta = beta
+        self.ewma_gain = ewma_gain
         self.initial_ewma_ns = initial_ewma_ns
         self.max_segment_bytes = max_segment_bytes
         #: ablation knob: adaptive=False freezes the EWMA, making the hold
@@ -282,7 +287,8 @@ class PrestoGro(GroBase):
         if self.probe is not None:
             self.probe.on_reorder_sample(flow_id, wait_ns)
         if self.adaptive:
-            flow.ewma_ns = (1 - EWMA_GAIN) * flow.ewma_ns + EWMA_GAIN * wait_ns
+            gain = self.ewma_gain
+            flow.ewma_ns = (1 - gain) * flow.ewma_ns + gain * wait_ns
 
     # --- timers ----------------------------------------------------------------
 

@@ -250,13 +250,21 @@ def _cmd_run(ns: argparse.Namespace) -> int:
         print("--seeds must name at least one seed", file=sys.stderr)
         return 2
     schemes = _csv_strs(ns.schemes)
-    from repro.experiments.harness import SCHEMES
+    if sweep.scheme_vocab is not None:
+        vocab = list(sweep.scheme_vocab())
+        unknown = [s for s in schemes if s not in vocab]
+        if unknown:
+            print(f"unknown preset(s) {', '.join(unknown)}; "
+                  f"pick from {', '.join(vocab)}", file=sys.stderr)
+            return 2
+    else:
+        from repro.experiments.harness import SCHEMES
 
-    unknown = [s for s in schemes if s not in SCHEMES]
-    if unknown:
-        print(f"unknown scheme(s) {', '.join(unknown)}; "
-              f"pick from {', '.join(SCHEMES)}", file=sys.stderr)
-        return 2
+        unknown = [s for s in schemes if s not in SCHEMES]
+        if unknown:
+            print(f"unknown scheme(s) {', '.join(unknown)}; "
+                  f"pick from {', '.join(SCHEMES)}", file=sys.stderr)
+            return 2
 
     store = ResultStore(ns.results_dir)
     telemetry = None

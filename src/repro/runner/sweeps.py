@@ -34,6 +34,10 @@ class SweepDef:
     #: True when the sweep understands --topology / --validate; the CLI
     #: rejects those flags for sweeps that do not
     accepts_topology: bool = False
+    #: when set, the CLI validates --schemes tokens against this
+    #: vocabulary instead of the scheme registry (the search sweep
+    #: repurposes --schemes to pick its preset)
+    scheme_vocab: Optional[Callable[[], Sequence[str]]] = None
 
 
 def _rtt_ms(rtts_ns: Sequence[int], pct: float) -> str:
@@ -267,6 +271,67 @@ def _run_tournament(
     return SweepReport("tournament", headers, standings_rows(result), result)
 
 
+def _search_presets() -> Sequence[str]:
+    from repro.search.driver import PRESETS
+
+    return sorted(PRESETS)
+
+
+def _run_search(
+    schemes: Sequence[str],
+    points: Sequence[int],  # unused: the search budget comes from the preset
+    seeds: Sequence[int],
+    warm_ns: int,  # unused: fitness cells use the preset's windows
+    measure_ns: int,
+    *,
+    jobs: int,
+    store: Optional[ResultStore],
+    force: bool,
+    timeout_s: Optional[float],
+    retries: int = 1,
+    log=None,
+    telemetry=None,
+    fidelity=None,
+    service: Optional[str] = None,
+) -> SweepReport:
+    from dataclasses import replace
+
+    from repro.search.driver import PRESETS, run_search
+
+    # --schemes names the preset here (searches fix their own scheme);
+    # default is the CI-friendly smoke preset, not the committed paper
+    # run, so `runner run search` stays cheap by default.
+    preset = schemes[0] if schemes else "smoke"
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown search preset {preset!r}; pick from "
+            f"{sorted(PRESETS)} (searches pin their own scheme, so "
+            f"--schemes selects the preset)")
+    settings = PRESETS[preset]
+    overrides = {}
+    if seeds:
+        overrides["eval_seeds"] = tuple(seeds)
+    if fidelity is not None:
+        overrides["fidelity"] = fidelity
+    if overrides:
+        settings = replace(settings, **overrides)
+    result, _stats = run_search(
+        settings,
+        jobs=jobs, store=store, force=force, timeout_s=timeout_s,
+        retries=retries, log=log, service=service,
+    )
+    headers = ["rank"] + [k["name"] for k in result.knobs] + [
+        "mice FCT us", "gen"]
+    rows = []
+    for rank, rec in enumerate(result.frontier[:10], start=1):
+        fct = (f"{rec.fitness_ns / 1e3:.1f}"
+               if rec.fitness_ns is not None else "n/a")
+        rows.append([rank]
+                    + [rec.knobs[k["name"]] for k in result.knobs]
+                    + [fct, rec.generation])
+    return SweepReport("search", headers, rows, result)
+
+
 SWEEPS = {
     "scalability": SweepDef(
         name="scalability",
@@ -307,5 +372,15 @@ SWEEPS = {
         default_points=(),
         run=_run_tournament,
         accepts_topology=True,
+    ),
+    "search": SweepDef(
+        name="search",
+        description="GA + successive-halving parameter search over the "
+                    "Presto design space; --schemes picks the preset "
+                    "(smoke/paper/failover/zoo — see python -m "
+                    "repro.search list)",
+        default_points=(),
+        run=_run_search,
+        scheme_vocab=_search_presets,
     ),
 }

@@ -1,0 +1,142 @@
+"""Seeded GA operators over :class:`~repro.search.space.ParamSpace`.
+
+Genomes are lattice-index tuples, so every operator is closed over the
+space by construction: crossover picks each gene from one parent,
+mutation resamples a gene to a *different* index of the same lattice.
+All randomness flows through one caller-owned ``random.Random`` — the
+search is a pure function of its seed.
+
+Duplicates are the enemy of a cached search (they waste a slot that a
+store hit would satisfy anyway), so population construction and
+breeding both dedupe against everything already seen, with a bounded
+retry before falling back to fresh uniform samples — and, when the
+whole space is nearly exhausted, returning fewer children rather than
+looping forever.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.search.space import Genome, ParamSpace
+
+#: proposals per slot before giving up on novelty
+_MAX_TRIES = 64
+
+
+def sample_population(
+    space: ParamSpace,
+    n: int,
+    rng,
+    seen: Iterable[Genome] = (),
+) -> List[Genome]:
+    """``n`` distinct uniform genomes, none of them in ``seen``.
+
+    Returns fewer than ``n`` only when the space has fewer unseen
+    genomes left than requested.
+    """
+    taken: Set[Genome] = set(seen)
+    remaining = space.size() - len(taken)
+    out: List[Genome] = []
+    while len(out) < min(n, max(0, remaining)):
+        for _ in range(_MAX_TRIES):
+            genome = space.sample(rng)
+            if genome not in taken:
+                break
+        else:
+            # rejection sampling is struggling: enumerate the gap
+            genome = _first_unseen(space, taken)
+            if genome is None:
+                break
+        taken.add(genome)
+        out.append(genome)
+    return out
+
+
+def _first_unseen(space: ParamSpace, taken: Set[Genome]):
+    """Deterministic sweep for a genome not yet taken (small spaces)."""
+
+    def rec(prefix, lattices):
+        if not lattices:
+            genome = tuple(prefix)
+            return None if genome in taken else genome
+        for idx in range(len(lattices[0])):
+            found = rec(prefix + [idx], lattices[1:])
+            if found is not None:
+                return found
+        return None
+
+    return rec([], space.lattices())
+
+
+def crossover(a: Genome, b: Genome, rng) -> Genome:
+    """Uniform crossover: each gene from one parent, coin per gene."""
+    if len(a) != len(b):
+        raise ValueError(f"parent lengths differ: {len(a)} vs {len(b)}")
+    return tuple(x if rng.random() < 0.5 else y for x, y in zip(a, b))
+
+
+def mutate(space: ParamSpace, genome: Genome, rng) -> Genome:
+    """Resample one random gene to a *different* lattice index.
+
+    Genes whose lattice has a single value cannot change; if every
+    lattice is singular the genome is returned unchanged.
+    """
+    if not space.contains(genome):
+        raise ValueError(f"genome {genome} is outside the space")
+    lattices = space.lattices()
+    mutable = [i for i, lat in enumerate(lattices) if len(lat) > 1]
+    if not mutable:
+        return genome
+    pos = mutable[rng.randrange(len(mutable))]
+    lattice = lattices[pos]
+    new_idx = rng.randrange(len(lattice) - 1)
+    if new_idx >= genome[pos]:
+        new_idx += 1
+    return genome[:pos] + (new_idx,) + genome[pos + 1:]
+
+
+def _tournament_pick(ranked: Sequence[Genome], rng) -> Genome:
+    """Binary tournament over a best-first ranking: draw two, keep the
+    better-ranked (lower index)."""
+    i = rng.randrange(len(ranked))
+    j = rng.randrange(len(ranked))
+    return ranked[min(i, j)]
+
+
+def next_generation(
+    space: ParamSpace,
+    ranked: Sequence[Genome],
+    n_children: int,
+    rng,
+    seen: Iterable[Genome] = (),
+) -> List[Genome]:
+    """Breed ``n_children`` novel genomes from a best-first ranking.
+
+    Each child is tournament-selected parents -> uniform crossover ->
+    one-gene mutation; children colliding with ``seen`` (or each
+    other) are retried, then replaced by fresh uniform samples so a
+    converged population cannot stall the search.
+    """
+    if not ranked:
+        raise ValueError("ranked survivors must be non-empty")
+    taken: Set[Genome] = set(seen)
+    taken.update(ranked)
+    out: List[Genome] = []
+    while len(out) < n_children:
+        child = None
+        for _ in range(_MAX_TRIES):
+            a = _tournament_pick(ranked, rng)
+            b = _tournament_pick(ranked, rng)
+            proposal = mutate(space, crossover(a, b, rng), rng)
+            if proposal not in taken:
+                child = proposal
+                break
+        if child is None:
+            fresh = sample_population(space, 1, rng, seen=taken)
+            if not fresh:
+                break  # space exhausted: a smaller generation is fine
+            child = fresh[0]
+        taken.add(child)
+        out.append(child)
+    return out

@@ -1,0 +1,199 @@
+"""Declarative knob space: named parameters over ``TestbedConfig``.
+
+Every parameter — log-spaced, linearly spaced, or categorical — is a
+finite **lattice** of values.  A candidate configuration (a *genome*)
+is therefore a tuple of lattice indices, which buys three properties
+the search depends on:
+
+* encode/decode round-trips exactly for every range kind (no float
+  drift between a sampled value and the value that lands in the
+  config),
+* two candidates are identical iff their genomes are, so deduping by
+  genome is deduping by config hash and the result-store cache fires
+  reliably,
+* mutation/crossover operate on small integers and provably stay
+  inside bounds.
+
+Knob names are ``TestbedConfig`` field names; :meth:`ParamSpace.apply`
+is a ``dataclasses.replace``, so the harness's ``__post_init__``
+validation screens every generated value.  :meth:`ParamSpace.validate`
+runs that screen over each parameter's extreme lattice points up
+front, failing fast (with the harness's own ``ValueError``) before a
+single job is queued.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+KINDS = ("log", "linear", "choice")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One named knob and its value lattice."""
+
+    #: a ``TestbedConfig`` field name (screened by ``ParamSpace``)
+    name: str
+    #: "log" | "linear" | "choice"
+    kind: str
+    #: range ends for log/linear lattices (inclusive)
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    #: lattice size for log/linear (>= 2)
+    steps: int = 0
+    #: explicit values for kind="choice"
+    choices: Tuple[Any, ...] = ()
+    #: round log/linear lattice values to int (byte counts, delays)
+    integer: bool = False
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"param {self.name!r}: kind must be one of {KINDS}, "
+                f"got {self.kind!r}")
+        if self.kind == "choice":
+            if len(self.choices) < 1:
+                raise ValueError(
+                    f"param {self.name!r}: choice needs at least one value")
+            if len(set(self.choices)) != len(self.choices):
+                raise ValueError(
+                    f"param {self.name!r}: duplicate choices")
+            return
+        if self.lo is None or self.hi is None:
+            raise ValueError(
+                f"param {self.name!r}: {self.kind} range needs lo and hi")
+        if self.steps < 2:
+            raise ValueError(
+                f"param {self.name!r}: {self.kind} range needs steps >= 2")
+        if not self.lo < self.hi:
+            raise ValueError(
+                f"param {self.name!r}: need lo < hi, "
+                f"got [{self.lo}, {self.hi}]")
+        if self.kind == "log" and self.lo <= 0:
+            raise ValueError(
+                f"param {self.name!r}: log range needs lo > 0, got {self.lo}")
+
+    def values(self) -> Tuple[Any, ...]:
+        """The full lattice, ascending (choice: declaration order)."""
+        if self.kind == "choice":
+            return self.choices
+        out = []
+        for i in range(self.steps):
+            frac = i / (self.steps - 1)
+            if self.kind == "log":
+                value = self.lo * (self.hi / self.lo) ** frac
+            else:
+                value = self.lo + (self.hi - self.lo) * frac
+            out.append(int(round(value)) if self.integer else value)
+        if len(set(out)) != len(out):
+            raise ValueError(
+                f"param {self.name!r}: integer rounding collapsed the "
+                f"lattice {out}; widen the range or reduce steps")
+        return tuple(out)
+
+
+#: a candidate configuration: one lattice index per parameter
+Genome = Tuple[int, ...]
+
+_CONFIG_FIELDS: Optional[frozenset] = None
+
+
+def _config_field_names() -> frozenset:
+    global _CONFIG_FIELDS
+    if _CONFIG_FIELDS is None:
+        from repro.experiments.harness import TestbedConfig
+
+        _CONFIG_FIELDS = frozenset(f.name for f in fields(TestbedConfig))
+    return _CONFIG_FIELDS
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """An ordered set of :class:`Param` — the search's genome layout."""
+
+    params: Tuple[Param, ...]
+
+    def __post_init__(self):
+        names = [p.name for p in self.params]
+        if not names:
+            raise ValueError("ParamSpace needs at least one Param")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate param names in {names}")
+        unknown = [n for n in names if n not in _config_field_names()]
+        if unknown:
+            raise ValueError(
+                f"params {unknown} are not TestbedConfig fields")
+
+    # --- genome <-> values ----------------------------------------------------
+
+    def lattices(self) -> Tuple[Tuple[Any, ...], ...]:
+        return tuple(p.values() for p in self.params)
+
+    def size(self) -> int:
+        """Number of distinct genomes."""
+        return math.prod(len(v) for v in self.lattices())
+
+    def decode(self, genome: Genome) -> Dict[str, Any]:
+        """Genome -> ``{field name: value}`` (raises on out-of-range)."""
+        if len(genome) != len(self.params):
+            raise ValueError(
+                f"genome length {len(genome)} != {len(self.params)} params")
+        out = {}
+        for param, lattice, idx in zip(
+                self.params, self.lattices(), genome):
+            if not 0 <= idx < len(lattice):
+                raise ValueError(
+                    f"param {param.name!r}: index {idx} outside lattice "
+                    f"of {len(lattice)}")
+            out[param.name] = lattice[idx]
+        return out
+
+    def encode(self, values: Dict[str, Any]) -> Genome:
+        """``{field name: value}`` -> genome; exact-match inverse of
+        :meth:`decode` for every range kind."""
+        genome = []
+        for param, lattice in zip(self.params, self.lattices()):
+            if param.name not in values:
+                raise ValueError(f"missing value for param {param.name!r}")
+            value = values[param.name]
+            try:
+                genome.append(lattice.index(value))
+            except ValueError:
+                raise ValueError(
+                    f"param {param.name!r}: {value!r} is not on the "
+                    f"lattice {lattice}") from None
+        return tuple(genome)
+
+    def contains(self, genome: Genome) -> bool:
+        return (len(genome) == len(self.params)
+                and all(0 <= idx < len(lattice)
+                        for idx, lattice in zip(genome, self.lattices())))
+
+    # --- config plumbing ------------------------------------------------------
+
+    def apply(self, base: Any, genome: Genome) -> Any:
+        """``TestbedConfig`` for one candidate (post_init re-validates)."""
+        return replace(base, **self.decode(genome))
+
+    def validate(self, base: Any) -> None:
+        """Screen each param's lattice extremes through the harness's
+        own ``__post_init__`` so a bad range fails before any job runs."""
+        for param, lattice in zip(self.params, self.lattices()):
+            for value in {lattice[0], lattice[-1]}:
+                replace(base, **{param.name: value})
+
+    def sample(self, rng) -> Genome:
+        """One uniform random genome from ``rng`` (a ``random.Random``)."""
+        return tuple(rng.randrange(len(v)) for v in self.lattices())
+
+    # --- reporting ------------------------------------------------------------
+
+    def table(self) -> Sequence[Dict[str, Any]]:
+        """Knob table rows for reports: name, kind, lattice."""
+        return [
+            {"name": p.name, "kind": p.kind, "values": list(v)}
+            for p, v in zip(self.params, self.lattices())
+        ]

@@ -12,7 +12,12 @@ across machines with nothing but the standard library (``http.server``
   ``_execute_payload`` entry the pool forks, heartbeat while running,
   and ``POST /complete`` their results;
 * **clients** — any ``run_jobs(..., service=URL)`` caller, including
-  every sweep/validate/faults CLI via ``--service``.
+  every sweep/validate/faults CLI via ``--service``.  The parameter
+  search (``python -m repro.search run --service URL``) is the
+  heaviest client: each GA rung fans its fitness cells through the
+  coordinator, and because promoted candidates resubmit their
+  earlier-seed jobs, the coordinator's store-hit path (not the
+  workers) absorbs the halving ladder's structural re-submissions.
 
 A worker that dies mid-job simply stops heartbeating; its lease
 expires and the job requeues *without* charging its retry budget —

@@ -132,3 +132,61 @@ def test_different_seed_different_hash_choices():
 
     picks = {labels(s) for s in range(8)}
     assert len(picks) > 1
+
+
+# --- config validation (the search can generate nonsense knobs) --------------
+
+
+class TestConfigValidation:
+    def test_flowcell_bytes_must_be_positive(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="flowcell_bytes"):
+                TestbedConfig(flowcell_bytes=bad)
+
+    def test_gro_alpha_positive_and_finite(self):
+        for bad in (0.0, -2.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="gro_alpha"):
+                TestbedConfig(gro_alpha=bad)
+        TestbedConfig(gro_alpha=2.0)  # the paper's own value passes
+
+    def test_gro_ewma_gain_in_unit_interval(self):
+        for bad in (0.0, -0.5, 1.0001, 2.0):
+            with pytest.raises(ValueError, match="gro_ewma_gain"):
+                TestbedConfig(gro_ewma_gain=bad)
+        TestbedConfig(gro_ewma_gain=1.0)  # closed upper end
+        TestbedConfig(gro_ewma_gain=0.125)
+
+    def test_delays_must_be_nonnegative(self):
+        for name in ("failover_latency_ns", "ctrl_detection_delay_ns",
+                     "ctrl_reaction_delay_ns"):
+            with pytest.raises(ValueError, match=name):
+                TestbedConfig(**{name: -1})
+            TestbedConfig(**{name: 0})
+
+    def test_zoo_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="zoo_threshold_bytes"):
+            TestbedConfig(zoo_threshold_bytes=0)
+        TestbedConfig(zoo_threshold_bytes=100 * KB)
+
+    def test_gro_ewma_gain_reaches_the_gro(self):
+        tb = Testbed(TestbedConfig(scheme="presto", gro_ewma_gain=0.5))
+        assert tb.hosts[0].gro.ewma_gain == 0.5
+
+    def test_zoo_threshold_reaches_the_zoo_lbs(self):
+        tb = Testbed(TestbedConfig(scheme="diffflow",
+                                   zoo_threshold_bytes=200 * KB))
+        assert tb.hosts[0].lb.threshold == 200 * KB
+        tb = Testbed(TestbedConfig(scheme="elephant_iso",
+                                   zoo_threshold_bytes=512 * KB))
+        assert tb.hosts[0].lb.threshold == 512 * KB
+
+    def test_validation_does_not_perturb_store_hashes(self):
+        # the new tri-state knobs serialize as *omitted* when unset, so
+        # every pre-existing store record keeps its content hash (the
+        # canonical pin lives in test_fabrics.py; this guards the
+        # serialized field set directly)
+        from repro.runner.serialize import to_jsonable
+
+        fields = to_jsonable(TestbedConfig())["fields"]
+        assert "gro_ewma_gain" not in fields
+        assert "zoo_threshold_bytes" not in fields

@@ -114,3 +114,111 @@ class TestReorderTracker:
             tracker.observe(seg(1, i))
         assert tracker.truncated
         assert len(tracker.segment_sizes()) == 3
+
+
+# --- streaming collectors under search load ----------------------------------
+# The search driver leans on these for fitness aggregation at scale, so
+# the estimators are pinned on exactly the streams that break naive
+# marker updates: sorted, constant, and two-point inputs.
+
+from repro.metrics.stats import percentile as exact_percentile  # noqa: E402
+from repro.metrics.streaming import P2Quantile, StreamingQuantiles, TopK  # noqa: E402
+
+
+class TestP2Adversarial:
+    def test_sorted_ascending_stream(self):
+        xs = list(range(1, 1001))
+        for q in (0.5, 0.9, 0.99):
+            est = P2Quantile(q)
+            for x in xs:
+                est.add(x)
+            exact = exact_percentile(xs, q * 100)
+            assert abs(est.value() - exact) / exact < 0.05
+
+    def test_sorted_descending_stream(self):
+        xs = list(range(1000, 0, -1))
+        est = P2Quantile(0.9)
+        for x in xs:
+            est.add(x)
+        exact = exact_percentile(xs, 90)
+        assert abs(est.value() - exact) / exact < 0.05
+
+    def test_constant_stream_is_exact(self):
+        est = P2Quantile(0.99)
+        for _ in range(500):
+            est.add(42.0)
+        assert est.value() == 42.0
+
+    def test_two_point_stream_stays_bracketed(self):
+        # alternating {0, 100}: any quantile estimate must stay inside
+        # the sample range (the parabolic update must not extrapolate)
+        est = P2Quantile(0.5)
+        for i in range(1000):
+            est.add(0.0 if i % 2 == 0 else 100.0)
+        assert 0.0 <= est.value() <= 100.0
+
+    def test_small_samples_exact(self):
+        # below five samples value() is the exact interpolated quantile
+        est = P2Quantile(0.5)
+        for x in (10.0, 20.0, 30.0):
+            est.add(x)
+        assert est.value() == exact_percentile([10.0, 20.0, 30.0], 50)
+
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=300))
+    def test_estimate_within_sample_range(self, xs):
+        est = P2Quantile(0.9)
+        for x in xs:
+            est.add(x)
+        assert min(xs) <= est.value() <= max(xs)
+
+
+class TestStreamingSummary:
+    def test_summary_keys_and_exact_fields(self):
+        sq = StreamingQuantiles()
+        sq.extend([float(x) for x in range(1, 101)])
+        s = sq.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.5)
+        for key in ("p50", "p90", "p99", "p99.9"):
+            assert key in s
+
+    def test_empty_summary(self):
+        s = StreamingQuantiles().summary()
+        assert s["count"] == 0
+        assert s["mean"] is None and s["p50"] is None
+
+
+class TestTopKTies:
+    def test_ties_earlier_wins(self):
+        top = TopK(k=2)
+        top.add(5.0, "first")
+        top.add(5.0, "second")
+        top.add(5.0, "third")
+        assert top.items() == [(5.0, "first"), (5.0, "second")]
+
+    def test_tie_break_deterministic_across_runs(self):
+        def run():
+            top = TopK(k=3)
+            for i in range(100):
+                top.add(float(i % 7), f"item{i}")
+            return top.items()
+
+        assert run() == run()
+
+    def test_largest_first_ordering(self):
+        top = TopK(k=3)
+        for v in (1.0, 9.0, 3.0, 7.0, 5.0):
+            top.add(v, v)
+        assert [v for v, _ in top.items()] == [9.0, 7.0, 5.0]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopK(k=0)
